@@ -1,0 +1,127 @@
+"""Microkernel benchmarks: wall-clock performance of the substrate itself.
+
+Unlike the figure/table benchmarks (whose results are virtual-time
+measurements), these measure the *reproduction's own* hot paths with
+pytest-benchmark — the discrete-event engine, the poll cycle, buffer
+packing, and MPI collectives — so regressions in simulation throughput
+are caught.
+"""
+
+import numpy as np
+
+from repro import Buffer, make_sp2
+from repro.mpi import MPIWorld
+from repro.simnet import Simulator, Store
+
+
+def test_engine_event_throughput(benchmark):
+    """Raw engine throughput: timeout-chain of 20k events."""
+
+    def run():
+        sim = Simulator()
+
+        def chain():
+            for _ in range(10_000):
+                yield sim.timeout(1e-6)
+
+        sim.process(chain())
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events >= 10_000
+
+
+def test_store_put_get(benchmark):
+    """Store put/get round-trip throughput."""
+
+    def run():
+        sim = Simulator()
+        store = Store(sim)
+        moved = 0
+
+        def producer():
+            for i in range(5_000):
+                store.put(i)
+                yield sim.timeout(0)
+
+        def consumer():
+            nonlocal moved
+            for _ in range(5_000):
+                yield store.get()
+                moved += 1
+
+        sim.process(producer())
+        done = sim.process(consumer())
+        sim.run(until=done)
+        return moved
+
+    assert benchmark(run) == 5_000
+
+
+def test_buffer_packing(benchmark):
+    """Typed buffer pack/unpack throughput."""
+    array = np.arange(256, dtype=np.float64)
+
+    def run():
+        total = 0
+        for _ in range(200):
+            buffer = Buffer()
+            buffer.put_int(1).put_float(2.0).put_str("handler")
+            buffer.put_array(array).put_padding(4096)
+            reader = buffer.reader_copy()
+            reader.get_int(), reader.get_float(), reader.get_str()
+            total += int(reader.get_array()[10]) + reader.get_padding()
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_rsr_roundtrip_rate(benchmark):
+    """End-to-end Nexus RSR issue+dispatch rate over the MPL module."""
+
+    def run():
+        bed = make_sp2(nodes_a=2, nodes_b=0)
+        nexus = bed.nexus
+        a = nexus.context(bed.hosts_a[0], methods=("local", "mpl"))
+        b = nexus.context(bed.hosts_a[1], methods=("local", "mpl"))
+        count = {"n": 0}
+        b.register_handler("tick",
+                           lambda ctx, ep, buf: count.__setitem__(
+                               "n", count["n"] + 1))
+        sp = a.startpoint_to(b.new_endpoint())
+
+        def sender():
+            for _ in range(300):
+                yield from sp.rsr("tick", Buffer().put_padding(64))
+
+        def receiver():
+            yield from b.wait(lambda: count["n"] >= 300)
+
+        done = nexus.spawn(receiver())
+        nexus.spawn(sender())
+        nexus.run(until=done)
+        return count["n"]
+
+    assert benchmark(run) == 300
+
+
+def test_mpi_allreduce_rate(benchmark):
+    """MPI collective throughput across a 6-rank mixed-transport world."""
+
+    def run():
+        bed = make_sp2(nodes_a=4, nodes_b=2)
+        contexts = [bed.nexus.context(h) for h in bed.hosts]
+        world = MPIWorld(bed.nexus, contexts)
+        totals = []
+
+        def body(proc):
+            for i in range(10):
+                value = yield from proc.allreduce(proc.rank + i, "sum")
+                totals.append(value)
+
+        handles = world.run_spmd(body)
+        bed.nexus.run(until=bed.nexus.sim.all_of(handles))
+        return len(totals)
+
+    assert benchmark(run) == 60

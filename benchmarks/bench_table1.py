@@ -1,0 +1,18 @@
+"""Regenerate Table 1: coupled-model seconds per timestep, all rows.
+
+Rows: Selective TCP, Forwarding, skip poll {1, 100, 10000, 12000,
+13000}, plus skip poll 100000 (to exhibit the detection-latency rise)
+and the all-TCP no-multimethod baseline the paper's text describes.
+Shape criteria: selective best; select-overhead region decreasing;
+detection region rising; tuned polling beats forwarding; all-TCP is
+several times worse than any multimethod row.
+"""
+
+from repro.bench import check_table1_shape, table1
+
+
+def test_table1(run_once):
+    table = run_once(table1)
+    print()
+    print(table.render())
+    check_table1_shape(table)

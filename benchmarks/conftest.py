@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artefacts.  The drivers
+live in :mod:`repro.bench`; these files wrap them for pytest-benchmark,
+print the regenerated rows/series (captured into ``bench_output.txt`` by
+the top-level run command), and assert the qualitative shape criteria
+from DESIGN.md.
+
+The workloads are deterministic discrete-event simulations, so the
+quantity of scientific interest is the *virtual-time* result (printed);
+pytest-benchmark's wall-clock numbers measure the harness itself and use
+a single round to keep the suite fast.
+"""
+
+import pytest
+
+#: One round, one iteration: the simulations are deterministic, so
+#: repeated rounds measure nothing new.
+PEDANTIC = dict(rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a driver exactly once under pytest-benchmark and return its
+    result object."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, **PEDANTIC)
+
+    return runner

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Near-real-time satellite processing across the I-WAY (reference [20]).
+
+Runs the three-site pipeline — instrument capture, data-parallel
+filtering on the SP2 over mini-MPI, CC++-style RPC delivery to the CAVE
+display — and prints per-frame latency with the methods each hop chose.
+
+Run:  python examples/satellite_pipeline.py
+"""
+
+from repro.apps.satellite import run_satellite
+from repro.util.units import format_time
+
+
+def main() -> None:
+    result = run_satellite(frames=6, ny=64, nx=64, sp2_nodes=4,
+                           frame_interval=0.04)
+
+    print("satellite pipeline: instrument --tcp--> SP2 (4-rank MPI filter) "
+          "--rpc/aal5--> CAVE display\n")
+    print("frame   capture->display   processed checksum")
+    for frame_id, (latency, checksum) in enumerate(
+            zip(result.latencies, result.checksums)):
+        print(f"  {frame_id:>3}   {format_time(latency):>14}   "
+              f"{checksum:14.3f}")
+    print(f"\nmean pipeline latency: {format_time(result.mean_latency)}")
+    print(f"throughput: {result.throughput:.1f} frames/s (virtual)")
+    print(f"display RPC method: {result.display_methods[0]} "
+          "(selected automatically — the CAVE has an ATM interface)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets has no ``wheel`` package and no
+network access, so PEP 517 editable installs fail; ``pip install -e .
+--no-use-pep517`` with this shim works everywhere.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,99 @@
+"""repro — reproduction of *Multimethod Communication for
+High-Performance Metacomputing Applications* (Foster, Geisler,
+Kesselman, Tuecke; SC 1996).
+
+The package implements the paper's Nexus multimethod communication
+architecture from scratch on a deterministic discrete-event simulation
+substrate, plus everything the evaluation depends on: eight
+communication modules, a mini-MPI layered on the Nexus core, the coupled
+climate model case study, and a benchmark harness regenerating every
+figure and table.
+
+Quick start::
+
+    from repro import make_sp2, Buffer
+
+    bed = make_sp2(nodes_a=1, nodes_b=1)
+    nexus = bed.nexus
+    a = nexus.context(bed.hosts_a[0], "a")
+    b = nexus.context(bed.hosts_b[0], "b")
+
+    b.register_handler("hello", lambda ctx, ep, buf: print(buf.get_str()))
+    sp = a.startpoint_to(b.new_endpoint())
+
+    def main():
+        yield from sp.rsr("hello", Buffer().put_str("hi over TCP"))
+        yield from a.charge(0.01)
+
+    nexus.spawn(main())
+    nexus.run()
+
+Layering (bottom to top): :mod:`repro.simnet` (event engine + machine
+model) → :mod:`repro.transports` (communication modules) →
+:mod:`repro.core` (Nexus) → :mod:`repro.mpi` (mini-MPI) →
+:mod:`repro.apps` (workloads) → :mod:`repro.bench` (experiments).
+"""
+
+from .config import ConfigError, build_world, describe_world
+from .core import (
+    AdaptiveConfig,
+    AdaptiveSkipPoll,
+    Buffer,
+    CommDescriptorTable,
+    Context,
+    Endpoint,
+    FirstApplicable,
+    ForwardingService,
+    Nexus,
+    PreferMethod,
+    QoSAware,
+    RequireMethod,
+    Startpoint,
+)
+from .simnet import (
+    Host,
+    LinkProfile,
+    Machine,
+    Network,
+    Partition,
+    Simulator,
+)
+from .testbeds import IWayTestbed, SP2Testbed, make_iway, make_sp2
+from .transports import RuntimeCosts, TransportCosts
+
+# Programming-model layers (imported lazily by most users, re-exported
+# for convenience): repro.mpi, repro.rpc, repro.fm, repro.baselines.
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveSkipPoll",
+    "Buffer",
+    "CommDescriptorTable",
+    "ConfigError",
+    "Context",
+    "Endpoint",
+    "FirstApplicable",
+    "ForwardingService",
+    "Host",
+    "IWayTestbed",
+    "LinkProfile",
+    "Machine",
+    "Network",
+    "Nexus",
+    "Partition",
+    "PreferMethod",
+    "QoSAware",
+    "RequireMethod",
+    "RuntimeCosts",
+    "SP2Testbed",
+    "Simulator",
+    "Startpoint",
+    "TransportCosts",
+    "__version__",
+    "build_world",
+    "describe_world",
+    "make_iway",
+    "make_sp2",
+]

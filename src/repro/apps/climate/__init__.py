@@ -1,0 +1,29 @@
+"""repro.apps.climate — the Millenia-style coupled climate model.
+
+The Section 4 case study: a really-computing atmosphere (PCCM stand-in)
+on 16 processors coupled to an ocean on 8 processors across two SP2
+partitions, over mini-MPI on Nexus, under the multimethod configurations
+of Table 1.
+"""
+
+from .atmosphere import Atmosphere
+from .config import TEST_CONFIG, ClimateConfig, ClimateMode
+from .coupling import atmo_children, ocean_parent
+from .grid import Slab, gather_global, halo_exchange
+from .model import ClimateResult, run_coupled_model
+from .ocean import Ocean
+
+__all__ = [
+    "Atmosphere",
+    "ClimateConfig",
+    "ClimateMode",
+    "ClimateResult",
+    "Ocean",
+    "Slab",
+    "TEST_CONFIG",
+    "atmo_children",
+    "gather_global",
+    "halo_exchange",
+    "ocean_parent",
+    "run_coupled_model",
+]

@@ -1,0 +1,78 @@
+"""The atmosphere↔ocean coupler.
+
+Every ``couple_every`` atmosphere steps the two models exchange fields
+(paper: "the models exchange information such as sea surface temperature
+and various fluxes").  Each ocean rank couples a fixed band of
+``atmo_ranks / ocean_ranks`` atmosphere ranks; regridding is the simple
+row-band mapping that holds when both grids share ``nx`` and ``ny``
+(which our configurations do — a stand-in for the bilinear regridding a
+production coupler performs).
+
+All coupler traffic crosses the partition boundary, so it flows over TCP
+— this is precisely the traffic whose *detection* cost the Table 1
+experiments trade off against polling overhead.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from ...mpi.datatypes import Padded
+from ...mpi.mpi import MpiProcess
+
+#: Coupler tag space (distinct from halo tags).
+TAG_FLUX = 201
+TAG_SST = 202
+
+
+def atmo_children(ocean_rank: int, atmo_ranks: int, ocean_ranks: int
+                  ) -> list[int]:
+    """World... model-local atmosphere ranks coupled to one ocean rank."""
+    per = atmo_ranks // ocean_ranks
+    return [ocean_rank * per + i for i in range(per)]
+
+
+def ocean_parent(atmo_rank: int, atmo_ranks: int, ocean_ranks: int) -> int:
+    """The ocean rank an atmosphere rank exchanges with."""
+    per = atmo_ranks // ocean_ranks
+    return atmo_rank // per
+
+
+def atmo_exchange(proc: MpiProcess, flux: np.ndarray, *,
+                  atmo_rank: int, atmo_ranks: int, ocean_ranks: int,
+                  coupling_bytes: int):
+    """Generator (atmosphere side): send my flux band, receive my SST band.
+
+    Uses *world* ranks for the inter-model traffic: atmosphere occupies
+    world ranks ``[0, atmo_ranks)`` and the ocean
+    ``[atmo_ranks, atmo_ranks + ocean_ranks)``.
+    """
+    parent_world = atmo_ranks + ocean_parent(atmo_rank, atmo_ranks,
+                                             ocean_ranks)
+    sst_request = proc.irecv(parent_world, TAG_SST)
+    yield from proc.send(Padded(flux, coupling_bytes), parent_world,
+                         TAG_FLUX)
+    sst, _status = yield from sst_request.wait()
+    return _t.cast(np.ndarray, sst)
+
+
+def ocean_exchange(proc: MpiProcess, sst_for: _t.Callable[[int], np.ndarray],
+                   apply_flux: _t.Callable[[int, np.ndarray], None], *,
+                   ocean_rank: int, atmo_ranks: int, ocean_ranks: int,
+                   coupling_bytes: int):
+    """Generator (ocean side): receive every child's flux, then reply
+    with each child's SST band.
+
+    ``sst_for(child_index)`` supplies the band to return to the i-th
+    child; ``apply_flux(child_index, flux)`` installs a received band.
+    """
+    children = atmo_children(ocean_rank, atmo_ranks, ocean_ranks)
+    requests = [proc.irecv(child, TAG_FLUX) for child in children]
+    for index, request in enumerate(requests):
+        flux, _status = yield from request.wait()
+        apply_flux(index, _t.cast(np.ndarray, flux))
+    for index, child in enumerate(children):
+        yield from proc.send(Padded(sst_for(index), coupling_bytes), child,
+                             TAG_SST)

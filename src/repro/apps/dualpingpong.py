@@ -1,0 +1,150 @@
+"""The concurrent dual ping-pong benchmark (Figures 5 and 6).
+
+"...a second microbenchmark that runs two instances of the ping-pong
+program concurrently, one over MPL and the second over TCP ...  The two
+programs execute until the MPL ping-pong has performed a fixed number of
+roundtrips.  Then the one-way communication time of each pair is
+computed.  To simulate an environment in which we have two separate SP2s
+coupled by a high speed network, we place the endpoints for the TCP
+communication in separate partitions."
+
+Configuration (Figure 5): hosts a0, a1, a2 in partition A and b0 in
+partition B.  The MPL pair is (a1, a2); the TCP pair is (a0, b0).  All
+four contexts are multimethod (MPL + TCP) and share one ``skip_poll``
+value for TCP, exactly as a global Nexus parameter would be set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..core.buffers import Buffer
+from ..core.context import Context
+from ..testbeds import SP2Testbed, make_sp2
+
+
+@dataclasses.dataclass(frozen=True)
+class DualPingPongResult:
+    """Both pairs' one-way times for one skip_poll setting."""
+
+    size: int
+    skip_poll: int
+    mpl_roundtrips: int
+    tcp_roundtrips: int
+    elapsed: float
+
+    @property
+    def mpl_one_way(self) -> float:
+        return self.elapsed / (2 * self.mpl_roundtrips)
+
+    @property
+    def tcp_one_way(self) -> float:
+        if self.tcp_roundtrips == 0:
+            return float("inf")
+        return self.elapsed / (2 * self.tcp_roundtrips)
+
+
+def dual_pingpong(size: int, skip_poll: int, *,
+                  mpl_roundtrips: int = 500,
+                  warmup: int = 5,
+                  blocking_tcp: bool = False,
+                  testbed: SP2Testbed | None = None) -> DualPingPongResult:
+    """Run the two concurrent ping-pongs and measure both one-way times.
+
+    ``skip_poll`` applies to the TCP method on all four contexts.  With
+    ``blocking_tcp=True`` the TCP method is instead detected by blocking
+    handlers (the Section 3.3 refinement available under AIX 4.1), and
+    ``skip_poll`` is ignored for it.
+    """
+    bed = testbed or make_sp2(nodes_a=3, nodes_b=1)
+    nexus = bed.nexus
+    methods = ("local", "mpl", "tcp")
+    tcp_a = nexus.context(bed.hosts_a[0], "tcp-a", methods=methods)
+    mpl_a = nexus.context(bed.hosts_a[1], "mpl-a", methods=methods)
+    mpl_b = nexus.context(bed.hosts_a[2], "mpl-b", methods=methods)
+    tcp_b = nexus.context(bed.hosts_b[0], "tcp-b", methods=methods)
+    contexts = (tcp_a, mpl_a, mpl_b, tcp_b)
+
+    for ctx in contexts:
+        if blocking_tcp:
+            ctx.poll_manager.set_blocking("tcp")
+        else:
+            ctx.poll_manager.set_skip("tcp", skip_poll)
+
+    counters = {ctx.id: 0 for ctx in contexts}
+
+    def bump(ctx: Context, _ep, _buf) -> None:
+        counters[ctx.id] += 1
+
+    for ctx in contexts:
+        ctx.register_handler("ball", bump)
+
+    sp_mpl_ab = mpl_a.startpoint_to(mpl_b.new_endpoint())
+    sp_mpl_ba = mpl_b.startpoint_to(mpl_a.new_endpoint())
+    sp_tcp_ab = tcp_a.startpoint_to(tcp_b.new_endpoint())
+    sp_tcp_ba = tcp_b.startpoint_to(tcp_a.new_endpoint())
+
+    state: dict[str, _t.Any] = {"done": False, "tcp_roundtrips": 0,
+                                "start": None, "end": 0.0}
+
+    def payload() -> Buffer:
+        return Buffer().put_padding(size)
+
+    def mpl_side_a():
+        for i in range(warmup + mpl_roundtrips):
+            if i == warmup:
+                state["start"] = nexus.now
+            yield from sp_mpl_ab.rsr("ball", payload())
+            target = i + 1
+            yield from mpl_a.wait(lambda: counters[mpl_a.id] >= target)
+        state["end"] = nexus.now
+        state["done"] = True
+
+    def mpl_side_b():
+        i = 0
+        while not state["done"]:
+            target = i + 1
+            yield from mpl_b.wait(
+                lambda: counters[mpl_b.id] >= target or state["done"])
+            if state["done"]:
+                return
+            yield from sp_mpl_ba.rsr("ball", payload())
+            i += 1
+
+    def tcp_side_a():
+        i = 0
+        while not state["done"]:
+            yield from sp_tcp_ab.rsr("ball", payload())
+            target = i + 1
+            yield from tcp_a.wait(
+                lambda: counters[tcp_a.id] >= target or state["done"])
+            if counters[tcp_a.id] >= target:
+                i += 1
+                if state["start"] is not None and not state["done"]:
+                    state["tcp_roundtrips"] += 1
+
+    def tcp_side_b():
+        i = 0
+        while not state["done"]:
+            target = i + 1
+            yield from tcp_b.wait(
+                lambda: counters[tcp_b.id] >= target or state["done"])
+            if state["done"]:
+                return
+            yield from sp_tcp_ba.rsr("ball", payload())
+            i += 1
+
+    done = nexus.spawn(mpl_side_a(), name="dual-mpl-a")
+    nexus.spawn(mpl_side_b(), name="dual-mpl-b")
+    nexus.spawn(tcp_side_a(), name="dual-tcp-a")
+    nexus.spawn(tcp_side_b(), name="dual-tcp-b")
+    nexus.run(until=done)
+
+    return DualPingPongResult(
+        size=size,
+        skip_poll=0 if blocking_tcp else skip_poll,
+        mpl_roundtrips=mpl_roundtrips,
+        tcp_roundtrips=max(state["tcp_roundtrips"], 1),
+        elapsed=state["end"] - state["start"],
+    )

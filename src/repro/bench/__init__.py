@@ -1,0 +1,45 @@
+"""repro.bench — experiment drivers regenerating the paper's evaluation.
+
+One module per paper artefact:
+
+* :mod:`repro.bench.figure4` — one-way ping-pong time vs message size
+  (raw MPL / Nexus single-method / Nexus multimethod), both panels.
+* :mod:`repro.bench.figure6` — dual ping-pong one-way times vs
+  ``skip_poll``, 0-byte and 10 kB panels.
+* :mod:`repro.bench.table1` — coupled-model seconds/timestep for every
+  Table 1 row plus the all-TCP baseline.
+* :mod:`repro.bench.ablations` — blocking-handler polling, the
+  MPI-layering cost, adaptive skip_poll, and the lightweight-startpoint
+  optimisation.
+
+Each driver returns :class:`~repro.util.records.Series` /
+:class:`~repro.util.records.ResultTable` objects, renders them in the
+paper's row/series format, and provides ``check_shape`` functions with
+the qualitative criteria from DESIGN.md.  The ``benchmarks/`` pytest
+files are thin wrappers over these drivers.
+"""
+
+from .figure4 import figure4, check_figure4_shape
+from .figure6 import figure6, check_figure6_shape
+from .table1 import table1, check_table1_shape
+from .ablations import (
+    ablation_adaptive_skip,
+    ablation_blocking_poll,
+    ablation_lightweight_startpoints,
+    ablation_mpi_layering,
+    ablation_rendezvous,
+)
+
+__all__ = [
+    "ablation_adaptive_skip",
+    "ablation_blocking_poll",
+    "ablation_lightweight_startpoints",
+    "ablation_mpi_layering",
+    "ablation_rendezvous",
+    "check_figure4_shape",
+    "check_figure6_shape",
+    "check_table1_shape",
+    "figure4",
+    "figure6",
+    "table1",
+]

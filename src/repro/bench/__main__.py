@@ -1,0 +1,151 @@
+"""Command-line harness: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench                 # everything
+    python -m repro.bench figure4         # one artefact
+    python -m repro.bench table1 --quick  # reduced workload sizes
+    python -m repro.bench --list
+
+The pytest benchmarks (`pytest benchmarks/ --benchmark-only`) are the
+canonical gate (they also assert the shape criteria); this entry point
+is for interactive exploration and for regenerating EXPERIMENTS.md
+numbers without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import typing as _t
+
+from .ablations import (
+    ablation_adaptive_skip,
+    ablation_blocking_poll,
+    ablation_lightweight_startpoints,
+    ablation_mpi_layering,
+    ablation_rendezvous,
+)
+from .figure4 import check_figure4_shape, figure4
+from .figure6 import check_figure6_shape, figure6
+from .table1 import check_table1_shape, table1
+
+
+def _run_figure4(quick: bool) -> None:
+    fig = figure4(roundtrips=30 if quick else 100)
+    print(fig.render())
+    print()
+    print(fig.render_charts())
+    if not quick:  # quick runs quantise too coarsely to assert shapes
+        check_figure4_shape(fig)
+        print("shape: OK")
+
+
+def _run_figure6(quick: bool) -> None:
+    fig = figure6(mpl_roundtrips=150 if quick else 400)
+    print(fig.render())
+    print()
+    print(fig.render_charts())
+    if not quick:
+        check_figure6_shape(fig)
+        print("shape: OK")
+
+
+def _run_table1(quick: bool) -> None:
+    config = None
+    if quick:
+        import dataclasses
+
+        from ..apps.climate import ClimateConfig
+        config = dataclasses.replace(ClimateConfig(), steps=2)
+    result = table1(config=config)
+    print(result.render())
+    if not quick:
+        check_table1_shape(result)
+        print("shape: OK")
+
+
+def _run_ablations(quick: bool) -> None:
+    blocking = ablation_blocking_poll(
+        mpl_roundtrips=150 if quick else 400)
+    print(blocking.table.render(1))
+    layering = ablation_mpi_layering()
+    print(f"\nMPI-on-Nexus layering overhead: {layering.overhead:.1%}")
+    adaptive = ablation_adaptive_skip(mpl_roundtrips=200 if quick else 600)
+    print(f"adaptive skip_poll: MPL {adaptive.adaptive_mpl * 1e6:.1f} us "
+          f"(best static {adaptive.best_static_mpl() * 1e6:.1f} us); "
+          f"final skips {adaptive.final_skips}")
+    sizes = ablation_lightweight_startpoints()
+    print(f"startpoint wire size: {sizes.full_bytes} B full, "
+          f"{sizes.lightweight_bytes} B lightweight "
+          f"({sizes.saving:.0%} saving)")
+    rendezvous = ablation_rendezvous(messages=4 if quick else 6)
+    print(f"eager vs rendezvous: parked bytes "
+          f"{rendezvous.eager_parked_bytes} -> "
+          f"{rendezvous.rendezvous_parked_bytes} "
+          f"({rendezvous.parked_reduction:.0%} reduction) at "
+          f"{(rendezvous.rendezvous_time / rendezvous.eager_time - 1):.0%} "
+          "extra completion time")
+
+
+def _run_baselines(quick: bool) -> None:
+    from ..baselines import run_mixed_workload
+    from ..util.records import ResultTable
+
+    rounds = 10 if quick else 30
+    table = ResultTable("Prior art vs multimethod Nexus", ["ms/round"])
+    table.add("p4 (hard-coded)",
+              run_mixed_workload("p4", rounds=rounds).time_per_round * 1e3)
+    table.add("pvm (daemon relay)",
+              run_mixed_workload("pvm", rounds=rounds).time_per_round * 1e3)
+    for skip in (1, 20):
+        result = run_mixed_workload("nexus", rounds=rounds, skip_poll=skip)
+        table.add(f"nexus skip_poll={skip}", result.time_per_round * 1e3)
+    print(table.render())
+
+
+ARTEFACTS: dict[str, _t.Callable[[bool], None]] = {
+    "figure4": _run_figure4,
+    "figure6": _run_figure6,
+    "table1": _run_table1,
+    "ablations": _run_ablations,
+    "baselines": _run_baselines,
+}
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation artefacts.",
+    )
+    parser.add_argument("artefacts", nargs="*", metavar="ARTEFACT",
+                        help=f"one of: {', '.join(ARTEFACTS)} "
+                             "(default: all)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced workload sizes")
+    parser.add_argument("--list", action="store_true",
+                        help="list artefacts and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in ARTEFACTS:
+            print(name)
+        return 0
+
+    selected = args.artefacts or list(ARTEFACTS)
+    for name in selected:
+        if name not in ARTEFACTS:
+            parser.error(f"unknown artefact {name!r}; "
+                         f"choose from {', '.join(ARTEFACTS)}")
+    for name in selected:
+        print(f"=== {name} {'(quick)' if args.quick else ''} ===")
+        started = time.time()
+        ARTEFACTS[name](args.quick)
+        print(f"[{name}: {time.time() - started:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

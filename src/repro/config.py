@@ -1,0 +1,158 @@
+"""Declarative configuration of metacomputing testbeds (Section 6).
+
+The paper closes with: "Further work is also required on the
+representation, discovery, and use of configuration data" — the seed of
+what later became Globus resource specification.  This module provides
+that representation for the simulated world: a plain-dict (JSON-shaped)
+description of machines, partitions, hosts, attributes, switch profiles,
+and wide-area links, from which :func:`build_world` constructs a ready
+:class:`~repro.core.runtime.Nexus`.
+
+Example description::
+
+    WORLD = {
+        "transports": ["local", "mpl", "aal5", "tcp"],
+        "machines": {
+            "sp2": {
+                "hosts": 4,
+                "switch": {"tcp": {"latency_ms": 2.0, "bandwidth_mbps": 8}},
+                "partitions": {"A": [0, 1], "B": [2, 3]},
+                "attributes": {"arch": "power1", "site": "anl"},
+            },
+            "cave": {"hosts": 1,
+                     "attributes": {"arch": "sgi", "atm": True}},
+        },
+        "links": [
+            {"a": "sp2", "b": "cave", "latency_ms": 10.0,
+             "bandwidth_mbps": 16, "transports": ["aal5"]},
+        ],
+    }
+
+Enquiry (`describe_world`) round-trips a live network back into this
+representation — discovery, in the paper's terms.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .core.runtime import Nexus
+from .simnet.engine import Simulator
+from .simnet.link import LinkProfile
+from .simnet.network import Machine, Network
+from .transports.costmodels import TransportCosts
+from .util.units import mbps, milliseconds
+
+
+class ConfigError(Exception):
+    """Malformed world description."""
+
+
+def _profile_from(entry: _t.Mapping[str, _t.Any], name: str) -> LinkProfile:
+    try:
+        latency = milliseconds(float(entry["latency_ms"]))
+        bandwidth = mbps(float(entry["bandwidth_mbps"]))
+    except KeyError as exc:
+        raise ConfigError(f"link/switch {name!r} missing {exc}") from None
+    return LinkProfile(name=name, latency=latency, bandwidth=bandwidth)
+
+
+def _build_machine(network: Network, name: str,
+                   spec: _t.Mapping[str, _t.Any]) -> Machine:
+    switch = {
+        transport: _profile_from(entry, f"{name}-switch-{transport}")
+        for transport, entry in spec.get("switch", {}).items()
+    }
+    machine = network.new_machine(name, switch)
+    host_count = int(spec.get("hosts", 1))
+    if host_count < 1:
+        raise ConfigError(f"machine {name!r} needs at least one host")
+    hosts = machine.new_hosts(host_count)
+    for host in hosts:
+        host.attributes.update(spec.get("attributes", {}))
+    for host_index, overrides in spec.get("host_attributes", {}).items():
+        hosts[int(host_index)].attributes.update(overrides)
+    for partition_name, indices in spec.get("partitions", {}).items():
+        members = []
+        for index in indices:
+            if not (0 <= int(index) < host_count):
+                raise ConfigError(
+                    f"partition {partition_name!r} of {name!r} references "
+                    f"host {index} out of range")
+            members.append(hosts[int(index)])
+        machine.new_partition(partition_name, members)
+    return machine
+
+
+def build_world(description: _t.Mapping[str, _t.Any], *,
+                sim: Simulator | None = None,
+                costs: _t.Mapping[str, TransportCosts] | None = None,
+                seed: int = 0) -> Nexus:
+    """Construct a runtime from a world description (see module docs)."""
+    machines_spec = description.get("machines")
+    if not machines_spec:
+        raise ConfigError("world description has no machines")
+    sim = sim or Simulator()
+    network = Network(sim)
+
+    machines: dict[str, Machine] = {}
+    for name, spec in machines_spec.items():
+        machines[name] = _build_machine(network, name, spec)
+
+    for index, link in enumerate(description.get("links", [])):
+        try:
+            a = machines[link["a"]]
+            b = machines[link["b"]]
+        except KeyError as exc:
+            raise ConfigError(f"link {index} references unknown machine "
+                              f"{exc}") from None
+        profile = _profile_from(link, link.get(
+            "name", f"{link['a']}<->{link['b']}"))
+        network.connect(a, b, profile,
+                        transports=link.get("transports"))
+
+    transports = description.get("transports")
+    return Nexus(sim, network, transports=transports, costs=costs,
+                 seed=seed)
+
+
+def describe_world(nexus: Nexus) -> dict[str, _t.Any]:
+    """Round-trip a live network back into the declarative form
+    (the "discovery" direction)."""
+    description: dict[str, _t.Any] = {
+        "transports": nexus.transports.names(),
+        "machines": {},
+        "links": [],
+    }
+    for machine in nexus.network.machines:
+        partitions = {
+            partition.name: [machine.hosts.index(host)
+                             for host in partition.hosts]
+            for partition in machine.partitions
+        }
+        description["machines"][machine.name] = {
+            "hosts": len(machine.hosts),
+            "switch": {
+                transport: {
+                    "latency_ms": profile.latency * 1e3,
+                    "bandwidth_mbps": profile.bandwidth / mbps(1.0),
+                }
+                for transport, profile in machine.switch_profiles.items()
+            },
+            "partitions": partitions,
+            "host_attributes": {
+                str(index): dict(host.attributes)
+                for index, host in enumerate(machine.hosts)
+                if host.attributes
+            },
+        }
+    for link in nexus.network._links:
+        entry: dict[str, _t.Any] = {
+            "a": link.a.name, "b": link.b.name,
+            "latency_ms": link.profile.latency * 1e3,
+            "bandwidth_mbps": link.profile.bandwidth / mbps(1.0),
+        }
+        if link.transports is not None:
+            entry["transports"] = sorted(link.transports)
+        description["links"].append(entry)
+    return description

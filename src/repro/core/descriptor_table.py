@@ -1,0 +1,110 @@
+"""Communication descriptor tables (Figure 2's central data structure).
+
+A descriptor table is "a concise and easily communicated representation
+of information about communication methods": the ordered list of
+:class:`~repro.transports.base.Descriptor` entries a context publishes.
+Order matters — the automatic selection rule scans the table in order and
+takes the first applicable entry, so a fastest-first ordering realises a
+fastest-first policy, and the user can influence selection by reordering,
+adding, or deleting entries (Section 3.2).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..transports.base import Descriptor
+from .errors import SelectionError
+
+
+class CommDescriptorTable:
+    """An ordered, wire-serialisable list of communication descriptors."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: _t.Iterable[Descriptor] = ()):
+        self._entries: list[Descriptor] = list(entries)
+
+    # -- collection protocol --------------------------------------------------
+
+    def __iter__(self) -> _t.Iterator[Descriptor]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, method: str) -> bool:
+        return any(d.method == method for d in self._entries)
+
+    def __getitem__(self, index: int) -> Descriptor:
+        return self._entries[index]
+
+    @property
+    def methods(self) -> list[str]:
+        """Method names in table order."""
+        return [d.method for d in self._entries]
+
+    def entry(self, method: str) -> Descriptor:
+        """The first entry for ``method``; raises if absent."""
+        for descriptor in self._entries:
+            if descriptor.method == method:
+                return descriptor
+        raise SelectionError(f"descriptor table has no entry for {method!r}")
+
+    # -- user manipulation (Section 3.2) -----------------------------------
+
+    def add(self, descriptor: Descriptor, position: int | None = None) -> None:
+        """Insert a descriptor (at ``position``, default append)."""
+        if position is None:
+            self._entries.append(descriptor)
+        else:
+            self._entries.insert(position, descriptor)
+
+    def remove(self, method: str) -> Descriptor:
+        """Delete the first entry for ``method`` and return it."""
+        for index, descriptor in enumerate(self._entries):
+            if descriptor.method == method:
+                return self._entries.pop(index)
+        raise SelectionError(f"descriptor table has no entry for {method!r}")
+
+    def replace(self, method: str, descriptor: Descriptor) -> None:
+        """Swap the entry for ``method`` in place (same position)."""
+        for index, existing in enumerate(self._entries):
+            if existing.method == method:
+                self._entries[index] = descriptor
+                return
+        raise SelectionError(f"descriptor table has no entry for {method!r}")
+
+    def reorder(self, methods: _t.Sequence[str]) -> None:
+        """Reorder entries to match ``methods``; unlisted entries keep
+        their relative order after the listed ones."""
+        listed: list[Descriptor] = []
+        for method in methods:
+            listed.append(self.entry(method))
+        rest = [d for d in self._entries if d not in listed]
+        self._entries = listed + rest
+
+    def promote(self, method: str) -> None:
+        """Move ``method`` to the front (make it the preferred method)."""
+        descriptor = self.remove(method)
+        self._entries.insert(0, descriptor)
+
+    def copy(self) -> "CommDescriptorTable":
+        return CommDescriptorTable(self._entries)
+
+    # -- wire form -------------------------------------------------------------
+
+    @property
+    def wire_size(self) -> int:
+        """Serialised size in bytes ("a few tens of bytes" in the paper)."""
+        return 4 + sum(d.wire_size for d in self._entries)
+
+    def to_wire(self) -> tuple:
+        return tuple(d.to_wire() for d in self._entries)
+
+    @classmethod
+    def from_wire(cls, wire: tuple) -> "CommDescriptorTable":
+        return cls(Descriptor.from_wire(entry) for entry in wire)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CommDescriptorTable {self.methods}>"

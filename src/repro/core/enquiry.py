@@ -1,0 +1,132 @@
+"""Enquiry functions (Section 2.1).
+
+"Both automatic and manual selection require access to information about
+the availability and applicability of different communication methods and
+about system state and configuration.  An implementation of multimethod
+communication must provide this information via enquiry functions.
+Enquiry functions should also enable programmers to evaluate the
+effectiveness of automatic selection or to tune manual selections."
+
+Everything here is read-only and side-effect free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..simnet.link import LinkProfile
+from .selection import method_profile
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .context import Context
+    from .runtime import Nexus
+    from .startpoint import Startpoint
+
+
+def available_methods(context: "Context") -> list[str]:
+    """Methods by which ``context`` can be reached, in table order."""
+    return context.export_table().methods
+
+
+def enabled_transports(nexus: "Nexus") -> list[str]:
+    """All communication modules enabled in this runtime, fastest first."""
+    return nexus.transports.names()
+
+
+def applicable_methods(context: "Context",
+                       startpoint: "Startpoint") -> list[list[str]]:
+    """Per link of ``startpoint``: the methods ``context`` could use.
+
+    This answers "which entries of the received descriptor table would
+    the automatic rule consider?" without committing to any of them.
+    """
+    registry = context.nexus.transports
+    result: list[list[str]] = []
+    for link in startpoint.links:
+        remote_host = context.nexus.context_host(link.context_id)
+        usable = []
+        for descriptor in link.table:
+            if descriptor.method not in registry:
+                continue
+            transport = registry.get(descriptor.method)
+            if transport.applicable(context, descriptor, remote_host):
+                usable.append(descriptor.method)
+        result.append(usable)
+    return result
+
+
+def current_methods(startpoint: "Startpoint") -> list[str | None]:
+    """The method currently selected on each link (None = not yet used)."""
+    return startpoint.current_methods()
+
+
+def link_profile(context: "Context", startpoint: "Startpoint",
+                 link_index: int = 0) -> LinkProfile | None:
+    """Effective wire profile of one link's current method, if selected."""
+    link = startpoint.links[link_index]
+    if link.comm is None:
+        return None
+    remote_host = context.nexus.context_host(link.context_id)
+    return method_profile(link.comm.transport, context.host, remote_host)
+
+
+def estimate_one_way(context: "Context", startpoint: "Startpoint",
+                     nbytes: int, link_index: int = 0) -> float | None:
+    """Back-of-envelope one-way time for ``nbytes`` on one link.
+
+    Uses the selected method's profile plus fixed overheads; ``None``
+    before a method has been selected.  Useful for QoS decisions and for
+    verifying that automatic selection did something sensible.
+    """
+    profile = link_profile(context, startpoint, link_index)
+    if profile is None:
+        return None
+    link = startpoint.links[link_index]
+    assert link.comm is not None
+    costs = link.comm.transport.costs
+    return (costs.send_overhead + profile.latency
+            + nbytes / profile.bandwidth + costs.recv_overhead)
+
+
+@dataclasses.dataclass(frozen=True)
+class PollReport:
+    """Summary of one context's polling behaviour."""
+
+    context_id: int
+    cycles: int
+    fires: dict[str, int]
+    poll_time: dict[str, float]
+    messages: dict[str, int]
+    hit_rates: dict[str, float]
+    skip: dict[str, int]
+    idle_fast_forwards: int
+
+
+def poll_report(context: "Context") -> PollReport:
+    """Observable polling statistics (evaluating selection/tuning)."""
+    stats = context.poll_manager.stats
+    return PollReport(
+        context_id=context.id,
+        cycles=stats.cycles,
+        fires=dict(stats.fires),
+        poll_time=dict(stats.poll_time),
+        messages=dict(stats.messages),
+        hit_rates={m: stats.hit_rate(m) for m in stats.fires},
+        skip={m: context.poll_manager.get_skip(m)
+              for m in context.poll_manager.methods},
+        idle_fast_forwards=stats.idle_fast_forwards,
+    )
+
+
+def transport_report(nexus: "Nexus") -> dict[str, dict[str, int]]:
+    """Per-transport send/drop counters for the whole runtime."""
+    report = {}
+    for name in nexus.transports.names():
+        transport = nexus.transports.get(name)
+        report[name] = {
+            "messages_sent": transport.messages_sent,
+            "bytes_sent": transport.bytes_sent,
+            "messages_dropped": transport.messages_dropped,
+        }
+    return report

@@ -1,0 +1,27 @@
+"""Exceptions for the Nexus core layer."""
+
+from __future__ import annotations
+
+
+class NexusError(Exception):
+    """Base class for Nexus runtime errors."""
+
+
+class BufferError_(NexusError):
+    """Type-mismatched or exhausted buffer extraction."""
+
+
+class BindError(NexusError):
+    """Illegal startpoint/endpoint binding operation."""
+
+
+class SelectionError(NexusError):
+    """No applicable communication method for a link."""
+
+
+class HandlerError(NexusError):
+    """RSR names a handler the destination context has not registered."""
+
+
+class PollingError(NexusError):
+    """Illegal poll-manager operation (bad skip value, unknown method...)."""

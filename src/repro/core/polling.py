@@ -1,0 +1,449 @@
+"""Detecting and processing multimethod communication (Section 3.3).
+
+The unified polling scheme: one poll function iterates over a context's
+communication methods and invokes each method's poll.  Because poll costs
+differ wildly (a 15 µs ``mpc_status`` vs a >100 µs ``select``), "an
+infrequently used, expensive method imposes significant overhead on a
+frequently used, inexpensive method" — which motivates the three
+mechanisms implemented here:
+
+* **skip_poll** — per-method poll decimation: with ``skip_poll = k`` the
+  method is checked every *k*-th time the polling function runs.
+* **selective polling** — :meth:`PollManager.only` masks methods away
+  entirely except in program sections that need them (Table 1 row 1).
+* **blocking handlers** — methods whose transport supports a blocking
+  wait (TCP on AIX 4.1) can be taken out of the poll cycle altogether;
+  a watcher process blocks on the transport inbox at zero poll cost.
+
+The poll manager also provides the *wait loop* every blocking operation
+in the stack sits in (``poll; check; spin``), and two pieces of
+simulation machinery that keep large experiments tractable without
+changing the modelled physics:
+
+* :meth:`wait` fast-forwards through idle spins by computing when the
+  next delivery could possibly occur, then charging the skipped loop
+  iterations (poll costs, skip-counter advancement, foreign-poll
+  accumulation) *as if* they had been executed one by one;
+* :meth:`busy_work` models an application phase containing ``n_ops``
+  Nexus operations (each of which runs the poll function once) as a bulk
+  charge with identical aggregate accounting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..simnet.events import Event
+from ..transports.base import WireMessage
+from .errors import PollingError
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .context import Context
+
+#: Numerical slack for time comparisons.
+_EPS = 1e-12
+
+
+@dataclasses.dataclass
+class PollStats:
+    """Observable polling behaviour (surfaced by the enquiry API)."""
+
+    cycles: int = 0
+    fires: dict[str, int] = dataclasses.field(default_factory=dict)
+    poll_time: dict[str, float] = dataclasses.field(default_factory=dict)
+    messages: dict[str, int] = dataclasses.field(default_factory=dict)
+    idle_fast_forwards: int = 0
+    bulk_ops: int = 0
+
+    def note_fire(self, method: str, cost: float, count: int = 1) -> None:
+        self.fires[method] = self.fires.get(method, 0) + count
+        self.poll_time[method] = self.poll_time.get(method, 0.0) + cost
+
+    def note_messages(self, method: str, count: int) -> None:
+        if count:
+            self.messages[method] = self.messages.get(method, 0) + count
+
+    def hit_rate(self, method: str) -> float:
+        """Fraction of this method's polls that found a message."""
+        fires = self.fires.get(method, 0)
+        if fires == 0:
+            return 0.0
+        return self.messages.get(method, 0) / fires
+
+
+class PollManager:
+    """Unified multimethod polling for one context."""
+
+    def __init__(self, context: "Context", methods: _t.Sequence[str]):
+        self.context = context
+        #: Poll order (descriptor-table order, i.e. fastest first).
+        self.methods: list[str] = list(methods)
+        self.skip: dict[str, int] = {}
+        self._counters: dict[str, int] = {}
+        self._mask: frozenset[str] | None = None
+        self._disabled: set[str] = set()
+        self._blocking: set[str] = set()
+        self.stats = PollStats()
+
+    # -- configuration ------------------------------------------------------
+
+    def add_method(self, method: str, position: int | None = None) -> None:
+        """Add a method to the poll cycle (idempotent).
+
+        Needed for methods whose descriptors are attached explicitly
+        rather than exported by default — e.g. a multicast group joined
+        after context creation.
+        """
+        if method in self.methods:
+            return
+        if method not in self.context.nexus.transports:
+            raise PollingError(f"transport {method!r} is not enabled")
+        if position is None:
+            self.methods.append(method)
+        else:
+            self.methods.insert(position, method)
+
+    def set_skip(self, method: str, value: int) -> None:
+        """Set the skip_poll parameter for ``method`` (1 = poll always)."""
+        if method not in self.methods:
+            raise PollingError(f"context does not poll method {method!r}")
+        if value < 1:
+            raise PollingError(f"skip_poll must be >= 1, got {value!r}")
+        self.skip[method] = int(value)
+
+    def get_skip(self, method: str) -> int:
+        return self.skip.get(method, 1)
+
+    def enable(self, method: str) -> None:
+        self._disabled.discard(method)
+
+    def disable(self, method: str) -> None:
+        """Stop polling ``method`` entirely (e.g. forwarding targets)."""
+        if method not in self.methods:
+            raise PollingError(f"context does not poll method {method!r}")
+        self._disabled.add(method)
+
+    def only(self, *methods: str) -> "_PollMask":
+        """Context manager restricting polling to ``methods``.
+
+        This is Table 1's "Selective TCP": TCP polling enabled only in
+        the program section where partitions communicate::
+
+            with ctx.poll_manager.only("local", "mpl"):
+                ...compute + intra-partition communication...
+        """
+        for method in methods:
+            if method not in self.methods:
+                raise PollingError(f"context does not poll method {method!r}")
+        return _PollMask(self, frozenset(methods))
+
+    def set_blocking(self, method: str, enabled: bool = True) -> None:
+        """Move ``method`` to blocking-handler detection (Section 3.3).
+
+        Requires the transport to support blocking waits.  While enabled,
+        the method is removed from the poll cycle and a dedicated watcher
+        process dispatches its messages as they arrive.
+        """
+        transport = self.context.nexus.transports.get(method)
+        if enabled:
+            if not transport.supports_blocking:
+                raise PollingError(
+                    f"transport {method!r} does not support blocking waits"
+                )
+            if method not in self._blocking:
+                self._blocking.add(method)
+                self.context.nexus.sim.spawn(
+                    self._blocking_watcher(method),
+                    name=f"blockwatch:{method}@ctx{self.context.id}",
+                )
+        else:
+            self._blocking.discard(method)
+
+    def _blocking_watcher(self, method: str):
+        context = self.context
+        inbox = context.inbox(method)
+        wakeup_cost = context.nexus.runtime_costs.dispatch_cost
+        while method in self._blocking:
+            message = yield inbox.get()
+            # Thread wakeup / context switch, then normal dispatch.
+            yield from context.charge(wakeup_cost)
+            self.stats.note_messages(method, 1)
+            yield from context.dispatch(_t.cast(WireMessage, message))
+
+    # -- the poll cycle ----------------------------------------------------------
+
+    def active_methods(self) -> list[str]:
+        """Methods the cycle will consider, in poll order."""
+        registry = self.context.nexus.transports
+        out = []
+        for method in self.methods:
+            if method in self._disabled or method in self._blocking:
+                continue
+            if self._mask is not None and method not in self._mask:
+                continue
+            if method not in registry:
+                continue
+            out.append(method)
+        return out
+
+    def poll(self):
+        """Generator: one run of the unified polling function.
+
+        Charges the poll costs of every method due this cycle, updates
+        the foreign-poll accumulator, collects ready messages, and
+        dispatches them.  Returns the number of messages dispatched.
+        """
+        context = self.context
+        registry = context.nexus.transports
+        self.stats.cycles += 1
+
+        firing: list[str] = []
+        total_cost = 0.0
+        foreign_cost = 0.0
+        for method in self.active_methods():
+            count = self._counters.get(method, 0) + 1
+            self._counters[method] = count
+            k = self.skip.get(method, 1)
+            if count % k:
+                continue
+            transport = registry.get(method)
+            firing.append(method)
+            total_cost += transport.poll_cost
+            if transport.steals_device_time:
+                foreign_cost += transport.poll_cost
+            self.stats.note_fire(method, transport.poll_cost)
+
+        if total_cost > 0.0:
+            yield from context.charge(total_cost)
+        if foreign_cost > 0.0:
+            context.foreign_poll_total += foreign_cost
+
+        dispatched = 0
+        for method in firing:
+            transport = registry.get(method)
+            messages = transport.collect(context)
+            self.stats.note_messages(method, len(messages))
+            for message in messages:
+                yield from context.dispatch(message)
+                dispatched += 1
+        return dispatched
+
+    # -- waiting --------------------------------------------------------------------
+
+    def wait(self, condition: _t.Callable[[], bool] | Event):
+        """Generator: poll until ``condition`` holds.
+
+        ``condition`` is a zero-argument predicate or an Event (waits for
+        it to trigger).  This is the canonical Nexus wait loop: every
+        iteration runs the polling function; idle stretches are
+        fast-forwarded with exact aggregate accounting.
+        """
+        extra_wake: Event | None = None
+        if isinstance(condition, Event):
+            event = condition
+            # processed, not triggered: a Timeout's value is decided at
+            # creation, but it has not *occurred* until the engine runs it.
+            predicate = lambda: event.processed  # noqa: E731
+            extra_wake = event
+        else:
+            predicate = condition
+        context = self.context
+        loop_cost = context.nexus.runtime_costs.poll_loop_cost
+
+        while True:
+            if predicate():
+                return
+            dispatched = yield from self.poll()
+            if predicate():
+                return
+            yield from context.charge(loop_cost)
+            if dispatched:
+                continue
+            yield from self._idle_fast_forward(extra_wake)
+
+    def _idle_fast_forward(self, extra_wake: Event | None = None):
+        """Skip ahead to the next instant a poll could deliver anything,
+        charging the spin iterations that would have happened meanwhile."""
+        context = self.context
+        sim = context.nexus.sim
+        now = sim.now
+        t_next = self._next_known_deliverable()
+        if t_next is not None and t_next <= now + _EPS:
+            return  # deliverable right now; the next poll will find it
+
+        wake_events: list[Event] = [context.arrival_signal()]
+        if extra_wake is not None and not extra_wake.processed:
+            wake_events.append(extra_wake)
+        if t_next is not None:
+            wake_events.append(sim.timeout(t_next - now))
+        target_event: Event = (wake_events[0] if len(wake_events) == 1
+                               else sim.any_of(wake_events))
+
+        started = now
+        yield target_event
+        elapsed = sim.now - started
+        if elapsed > 0.0:
+            self._account_idle_spin(elapsed, started)
+        self.stats.idle_fast_forwards += 1
+
+    def amortized_cycle_time(self) -> float:
+        """Average duration of one wait-loop iteration, skips included."""
+        registry = self.context.nexus.transports
+        cycle = self.context.nexus.runtime_costs.poll_loop_cost
+        for method in self.active_methods():
+            transport = registry.get(method)
+            cycle += transport.poll_cost / self.skip.get(method, 1)
+        return cycle
+
+    def _next_known_deliverable(self) -> float | None:
+        """Earliest future time an already-in-flight message becomes
+        deliverable to a poll, accounting for skip counters and the
+        foreign-poll penalty the spin itself will generate."""
+        context = self.context
+        registry = context.nexus.transports
+        now = context.nexus.sim.now
+        cycle = self.amortized_cycle_time()
+        # Foreign poll time generated per second of spinning:
+        foreign_rate = 0.0
+        for method in self.active_methods():
+            transport = registry.get(method)
+            if transport.steals_device_time:
+                foreign_rate += (transport.poll_cost
+                                 / self.skip.get(method, 1)) / cycle
+        overlap = context.nexus.runtime_costs.select_drain_overlap
+        stall_rate = (1.0 - overlap) * foreign_rate
+
+        best: float | None = None
+        for method in self.active_methods():
+            transport = registry.get(method)
+            k = self.skip.get(method, 1)
+            count = self._counters.get(method, 0)
+            cycles_to_fire = k - (count % k)  # cycles until next check
+            candidate: float | None = None
+
+            queue = context.device_queue(method)
+            if queue:
+                head = queue[0]
+                penalty = (1.0 - overlap) * (context.foreign_poll_total
+                                             - head.foreign_at_arrival)
+                base = head.ready_at + penalty
+                if base <= now:
+                    candidate = now
+                elif stall_rate < 1.0:
+                    # Spinning adds penalty while we wait; solve the fixed
+                    # point  t - now = (base - now) + stall_rate * (t - now).
+                    candidate = now + (base - now) / (1.0 - stall_rate)
+                else:  # pragma: no cover - degenerate configuration
+                    candidate = base
+            if not context.inbox(method).is_empty:
+                # Fast-forward to just before the firing cycle: the *real*
+                # poll after the bulk spin must be the one that fires
+                # (spinning one cycle too far would leave the counter at
+                # 1 mod k and miss a whole skip round).
+                ready = now + (cycles_to_fire - 1) * cycle
+                candidate = ready if candidate is None else min(candidate, ready)
+            if candidate is not None:
+                candidate = max(candidate,
+                                now + (cycles_to_fire - 1) * cycle)
+                best = candidate if best is None else min(best, candidate)
+        return best
+
+    def _account_idle_spin(self, elapsed: float, window_start: float) -> None:
+        """Charge ``elapsed`` seconds of wait-loop spinning in aggregate:
+        advance skip counters, accumulate poll costs and foreign time."""
+        context = self.context
+        registry = context.nexus.transports
+        cycle = self.amortized_cycle_time()
+        # Floor with a float guard: a fast-forward of exactly n cycles must
+        # advance the counters by exactly n.
+        iterations = int(elapsed / cycle + 1e-9)
+        if iterations <= 0:
+            return
+        self.stats.cycles += iterations
+        foreign_added = 0.0
+        for method in self.active_methods():
+            transport = registry.get(method)
+            k = self.skip.get(method, 1)
+            count = self._counters.get(method, 0)
+            fires = (count + iterations) // k - count // k
+            self._counters[method] = count + iterations
+            if fires:
+                self.stats.note_fire(method, transport.poll_cost * fires,
+                                     count=fires)
+                if transport.steals_device_time:
+                    foreign_added += transport.poll_cost * fires
+        if foreign_added:
+            context.foreign_poll_total += foreign_added
+            # Messages that *arrived during* the window must not be
+            # penalised for spin time that preceded their arrival.
+            for method in self.active_methods():
+                for transit in context.device_queue(method):
+                    if transit.arrival_start >= window_start - _EPS:
+                        transit.foreign_at_arrival = max(
+                            transit.foreign_at_arrival,
+                            context.foreign_poll_total,
+                        )
+
+    # -- bulk application work ----------------------------------------------------
+
+    def busy_work(self, n_ops: int, compute_time: float = 0.0,
+                  use_cpu: bool = False):
+        """Generator: model a phase of ``n_ops`` Nexus operations plus
+        ``compute_time`` of computation, in one aggregate charge.
+
+        Every Nexus operation runs the polling function once, so the
+        phase's cost includes each active method's poll cost once per
+        ``skip``-decimated firing — this is precisely how TCP polling
+        taxes the climate model's internal communication (Table 1).  One
+        real poll runs at the end to dispatch anything now ready.
+        Returns the number of messages dispatched by that final poll.
+        """
+        if n_ops < 0:
+            raise PollingError(f"negative op count {n_ops!r}")
+        context = self.context
+        registry = context.nexus.transports
+        self.stats.bulk_ops += n_ops
+        self.stats.cycles += n_ops
+
+        total_cost = float(compute_time)
+        foreign_cost = 0.0
+        for method in self.active_methods():
+            transport = registry.get(method)
+            k = self.skip.get(method, 1)
+            count = self._counters.get(method, 0)
+            fires = (count + n_ops) // k - count // k
+            self._counters[method] = count + n_ops
+            if fires:
+                cost = transport.poll_cost * fires
+                total_cost += cost
+                self.stats.note_fire(method, cost, count=fires)
+                if transport.steals_device_time:
+                    foreign_cost += cost
+
+        if total_cost > 0.0:
+            if use_cpu:
+                yield from context.host.compute(total_cost)
+            else:
+                yield from context.charge(total_cost)
+        if foreign_cost > 0.0:
+            context.foreign_poll_total += foreign_cost
+        result = yield from self.poll()
+        return result
+
+
+class _PollMask:
+    """Context manager implementing :meth:`PollManager.only` (nestable)."""
+
+    def __init__(self, manager: PollManager, methods: frozenset[str]):
+        self.manager = manager
+        self.methods = methods
+        self._saved: frozenset[str] | None = None
+
+    def __enter__(self) -> PollManager:
+        self._saved = self.manager._mask
+        self.manager._mask = self.methods
+        return self.manager
+
+    def __exit__(self, *exc: object) -> None:
+        self.manager._mask = self._saved

@@ -1,0 +1,136 @@
+"""The Nexus runtime: ties contexts, transports, and the simulator together.
+
+One :class:`Nexus` instance corresponds to one built-and-configured Nexus
+library in the paper: it owns the enabled communication-module set (the
+default built-in set, plus resource-database / command-line / programmatic
+additions — see :mod:`repro.transports.registry`), the Nexus-layer cost
+constants, and the registry of live contexts.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..simnet.engine import Simulator
+from ..simnet.network import Network
+from ..simnet.random import RandomStreams
+from ..simnet.trace import Tracer
+from ..transports.costmodels import (
+    DEFAULT_RUNTIME_COSTS,
+    RuntimeCosts,
+    TransportCosts,
+)
+from ..transports.registry import (
+    DEFAULT_TRANSPORT_SET,
+    TransportRegistry,
+    parse_module_spec,
+)
+from ..transports.base import TransportServices
+from .context import Context
+from .descriptor_table import CommDescriptorTable
+from .errors import NexusError
+from .selection import SelectionPolicy
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..simnet.node import Host
+
+
+class Nexus:
+    """A multimethod-communication runtime instance.
+
+    Parameters
+    ----------
+    sim, network:
+        The simulation substrate; fresh ones are created if omitted.
+    transports:
+        Names of communication modules to enable.  Accepts a sequence or
+        a resource-database-style spec string (``"mpl,tcp,udp"``).
+        Default: :data:`DEFAULT_TRANSPORT_SET`.
+    costs:
+        Per-transport :class:`TransportCosts` overrides.
+    runtime_costs:
+        Nexus-layer cost constants (:class:`RuntimeCosts`).
+    seed:
+        Root seed for all stochastic elements (UDP loss etc.).
+    trace_log:
+        Capacity of the tracer's event log (0 = counters only).
+    """
+
+    def __init__(self, sim: Simulator | None = None,
+                 network: Network | None = None, *,
+                 transports: _t.Sequence[str] | str | None = None,
+                 costs: _t.Mapping[str, TransportCosts] | None = None,
+                 runtime_costs: RuntimeCosts | None = None,
+                 seed: int = 0,
+                 trace_log: int = 0):
+        self.sim = sim or Simulator()
+        self.network = network or Network(self.sim)
+        self.tracer = Tracer(log_capacity=trace_log)
+        self.streams = RandomStreams(seed)
+        self.runtime_costs = runtime_costs or DEFAULT_RUNTIME_COSTS
+
+        services = TransportServices(
+            self.sim, self.network, self.tracer,
+            self.streams.stream("transports"),
+        )
+        services.runtime_costs = self.runtime_costs
+        services.resolve_context = self._resolve_context
+        self.transports = TransportRegistry(services, costs)
+
+        if transports is None:
+            names: _t.Sequence[str] = DEFAULT_TRANSPORT_SET
+        elif isinstance(transports, str):
+            names = parse_module_spec(transports)
+        else:
+            names = transports
+        self.transports.enable_all(names)
+
+        self.contexts: dict[int, Context] = {}
+
+    # -- contexts ------------------------------------------------------------
+
+    def context(self, host: "Host", name: str | None = None,
+                methods: _t.Sequence[str] | None = None,
+                policy: SelectionPolicy | None = None) -> Context:
+        """Create a context on ``host``.
+
+        ``methods`` restricts the communication methods this context
+        publishes (default: every enabled module that can reach it).
+        """
+        context = Context(self, host,
+                          name or f"ctx{len(self.contexts)}@{host.name}",
+                          methods=methods, policy=policy)
+        self.contexts[context.id] = context
+        return context
+
+    def _resolve_context(self, context_id: int) -> Context:
+        context = self.contexts.get(context_id)
+        if context is None:
+            raise NexusError(f"unknown context id {context_id}")
+        return context
+
+    def context_host(self, context_id: int) -> "Host":
+        return self._resolve_context(context_id).host
+
+    def default_table_for(self, context_id: int) -> CommDescriptorTable:
+        """The default descriptor table for lightweight startpoints
+        referencing ``context_id`` (the paper's small-startpoint case)."""
+        return self._resolve_context(context_id).export_table().copy()
+
+    # -- execution ------------------------------------------------------------
+
+    def spawn(self, gen: _t.Generator, name: str | None = None):
+        """Start a simulated process (thin wrapper over the simulator)."""
+        return self.sim.spawn(gen, name=name)
+
+    def run(self, until: object = None, **kwargs: object):
+        """Run the simulation (thin wrapper over :meth:`Simulator.run`)."""
+        return self.sim.run(until, **kwargs)  # type: ignore[arg-type]
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Nexus transports={self.transports.names()} "
+                f"contexts={len(self.contexts)} now={self.now!r}>")

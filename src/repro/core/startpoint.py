@@ -1,0 +1,272 @@
+"""Startpoints and communication links: the paper's core abstraction.
+
+A *communication link* connects a startpoint to an endpoint.  Startpoints:
+
+* must be bound to an endpoint before use (:meth:`Startpoint.bind`);
+* may be bound to **several** endpoints — an RSR then multicasts;
+* may be **copied between contexts** (``to_wire`` / ``import_startpoint``),
+  carrying the destination's communication descriptor table with them so
+  the receiving context knows every way to reach the endpoint;
+* carry the *communication method* for the link: selected automatically
+  (first-applicable over the table) or manually, and changeable at any
+  time with :meth:`set_method` — "the communication method associated
+  with any startpoint can be altered, so a process receiving a startpoint
+  can change the communication method to be used".
+
+The single operation on a startpoint is the asynchronous *remote service
+request* (:meth:`rsr`): transfer a buffer to each linked endpoint's
+context and invoke a named handler there with the endpoint and buffer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..transports.base import Descriptor, WireMessage
+from ..transports.multicast import MulticastTransport
+from .buffers import Buffer
+from .commobject import CommObject
+from .descriptor_table import CommDescriptorTable
+from .errors import BindError, SelectionError
+from .selection import SelectionPolicy
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .context import Context
+    from .endpoint import Endpoint
+
+
+@dataclasses.dataclass(frozen=True)
+class WireLink:
+    """Serialised form of one communication link."""
+
+    context_id: int
+    endpoint_id: int
+    table_wire: tuple | None  # None for lightweight startpoints
+
+    @property
+    def wire_size(self) -> int:
+        size = 12  # context id + endpoint id + flags
+        if self.table_wire is not None:
+            size += CommDescriptorTable.from_wire(self.table_wire).wire_size
+        return size
+
+
+@dataclasses.dataclass(frozen=True)
+class WireStartpoint:
+    """Serialised form of a startpoint (what actually travels)."""
+
+    links: tuple[WireLink, ...]
+
+    @property
+    def wire_size(self) -> int:
+        return 4 + sum(link.wire_size for link in self.links)
+
+
+class Link:
+    """One live startpoint→endpoint connection with its chosen method."""
+
+    __slots__ = ("context_id", "endpoint_id", "table", "comm")
+
+    def __init__(self, context_id: int, endpoint_id: int,
+                 table: CommDescriptorTable):
+        self.context_id = context_id
+        self.endpoint_id = endpoint_id
+        #: This link's own copy of the remote context's descriptor table;
+        #: the owner may reorder/edit it to influence selection.
+        self.table = table
+        self.comm: CommObject | None = None
+
+    @property
+    def method(self) -> str | None:
+        """Currently selected method, or None before first use."""
+        return self.comm.method if self.comm is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Link ->ctx{self.context_id}/ep{self.endpoint_id} "
+                f"method={self.method!r}>")
+
+
+class Startpoint:
+    """The sending half of one or more communication links."""
+
+    def __init__(self, context: "Context",
+                 policy: SelectionPolicy | None = None):
+        self.context = context
+        self.links: list[Link] = []
+        #: Per-startpoint selection policy; None means use the context's.
+        self.policy = policy
+        self.rsrs_sent = 0
+        self.bytes_sent = 0
+
+    # -- binding -----------------------------------------------------------
+
+    def bind(self, endpoint: "Endpoint") -> "Startpoint":
+        """Create a communication link to a (local) endpoint object.
+
+        Binding carries the endpoint context's descriptor table onto the
+        link, which is how the table later travels with the startpoint.
+        Returns ``self`` for chaining.
+        """
+        table = endpoint.context.export_table().copy()
+        self.links.append(Link(endpoint.context.id, endpoint.id, table))
+        return self
+
+    def bind_address(self, context_id: int, endpoint_id: int,
+                     table: CommDescriptorTable) -> "Startpoint":
+        """Bind to a remote endpoint by address + descriptor table."""
+        self.links.append(Link(context_id, endpoint_id, table.copy()))
+        return self
+
+    @property
+    def is_bound(self) -> bool:
+        return bool(self.links)
+
+    @property
+    def is_multicast(self) -> bool:
+        return len(self.links) > 1
+
+    # -- method control ------------------------------------------------------
+
+    def ensure_connected(self, link: Link) -> CommObject:
+        """Select a method for ``link`` (if needed) and return its comm object."""
+        if link.comm is None:
+            policy = self.policy or self.context.selection_policy
+            remote_host = self.context.nexus.context_host(link.context_id)
+            descriptor = policy.select(self.context, link.table, remote_host)
+            link.comm = self.context.comm_object_for(descriptor)
+        return link.comm
+
+    def set_method(self, method: str) -> None:
+        """Dynamically switch every link to ``method``.
+
+        Implements the paper's dynamic method change: "constructing a new
+        communication object and storing a reference to that object in the
+        startpoint".  Raises :class:`SelectionError` if any link's table
+        lacks an applicable entry for ``method``.
+        """
+        registry = self.context.nexus.transports
+        for link in self.links:
+            descriptor = link.table.entry(method)
+            remote_host = self.context.nexus.context_host(link.context_id)
+            transport = registry.get(method)
+            if not transport.applicable(self.context, descriptor, remote_host):
+                raise SelectionError(
+                    f"method {method!r} not applicable on link to "
+                    f"context {link.context_id}"
+                )
+            link.comm = self.context.comm_object_for(descriptor)
+
+    def current_methods(self) -> list[str | None]:
+        """Selected method per link (None where not yet selected)."""
+        return [link.method for link in self.links]
+
+    # -- the one communication operation ------------------------------------
+
+    def rsr(self, handler: str, buffer: Buffer | None = None):
+        """Generator: issue an asynchronous remote service request.
+
+        For each linked endpoint, transfers ``buffer`` to the endpoint's
+        context and invokes the handler registered there under ``handler``
+        with the endpoint and the buffer.  Resumes the caller once the
+        request has been handed to the transport(s) — *not* when the
+        remote handler runs (one-sided, asynchronous semantics).
+        """
+        if not self.links:
+            raise BindError("rsr() on an unbound startpoint")
+        context = self.context
+        nexus = context.nexus
+        if buffer is None:
+            buffer = Buffer()
+
+        # Every Nexus operation gives the poll function a chance to run.
+        yield from context.poll_manager.poll()
+        yield from context.charge(nexus.runtime_costs.rsr_send_overhead)
+
+        nbytes = (buffer.nbytes + nexus.runtime_costs.header_bytes
+                  + len(handler))
+        self.rsrs_sent += 1
+        self.bytes_sent += nbytes
+        nexus.tracer.incr("nexus.rsrs_sent")
+
+        group = self._common_multicast_group()
+        if group is not None:
+            yield from self._rsr_multicast(handler, buffer, nbytes, group)
+            return
+
+        for link in self.links:
+            comm = self.ensure_connected(link)
+            message = WireMessage(
+                handler=handler,
+                endpoint_id=link.endpoint_id,
+                src_context=context.id,
+                dst_context=link.context_id,
+                payload=buffer.reader_copy() if self.is_multicast else buffer,
+                nbytes=nbytes,
+            )
+            yield from comm.send(message)
+
+    def _common_multicast_group(self) -> str | None:
+        """If every link has selected the mcast method with one shared
+        group, return that group so the sends collapse into one."""
+        if len(self.links) < 2:
+            return None
+        group: str | None = None
+        for link in self.links:
+            if link.comm is None or link.comm.method != "mcast":
+                return None
+            link_group = _t.cast(str | None,
+                                 link.comm.descriptor.param("group"))
+            if link_group is None:
+                return None
+            if group is None:
+                group = link_group
+            elif group != link_group:
+                return None
+        return group
+
+    def _rsr_multicast(self, handler: str, buffer: Buffer, nbytes: int,
+                       group: str):
+        context = self.context
+        transport = context.nexus.transports.get("mcast")
+        assert isinstance(transport, MulticastTransport)
+        first = self.links[0]
+        assert first.comm is not None
+        message = WireMessage(
+            handler=handler,
+            endpoint_id=first.endpoint_id,
+            src_context=context.id,
+            dst_context=-1,  # group-addressed
+            payload=buffer,
+            nbytes=nbytes,
+            headers={"group": group,
+                     "endpoints": {l.context_id: l.endpoint_id
+                                   for l in self.links}},
+        )
+        yield from transport.send_group(context, first.comm.state, group,
+                                        message)
+
+    # -- mobility ---------------------------------------------------------------
+
+    def to_wire(self, *, lightweight: bool = False) -> WireStartpoint:
+        """Serialise for transfer to another context.
+
+        "When a startpoint is copied, new communication links are created,
+        mirroring the links associated with the original startpoint."  The
+        wire form carries each link's endpoint address and (unless
+        ``lightweight``) its descriptor table.
+        """
+        if not self.links:
+            raise BindError("cannot serialise an unbound startpoint")
+        return WireStartpoint(links=tuple(
+            WireLink(
+                context_id=link.context_id,
+                endpoint_id=link.endpoint_id,
+                table_wire=None if lightweight else link.table.to_wire(),
+            )
+            for link in self.links
+        ))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Startpoint ctx={self.context.id} links={len(self.links)} "
+                f"methods={self.current_methods()}>")

@@ -1,0 +1,53 @@
+"""repro.mpi — a mini-MPI layered on the Nexus core.
+
+Reproduces the structure of the MPICH-on-Nexus implementation the paper
+used: two-sided tag/source matching, communicators with private contexts,
+blocking and nonblocking point-to-point, and tree-based collectives — all
+over one-sided RSRs, so every MPI call exercises the multimethod polling
+machinery.
+"""
+
+from .collectives import OPS, resolve_op
+from .communicator import Communicator
+from .datatypes import Padded, Payload, pack_payload, payload_nbytes, unpack_payload
+from .errors import (
+    MatchingError,
+    MpiError,
+    RankError,
+    RequestError,
+    TruncationError,
+)
+from .matching import MatchingQueues, MpiMessage, PostedRecv
+from .mpi import MPI_ENVELOPE_BYTES, MPIWorld, MpiConfig, MpiProcess
+from .request import RecvRequest, Request, SendRequest, wait_all
+from .status import ANY_SOURCE, ANY_TAG, Status
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "MPIWorld",
+    "MPI_ENVELOPE_BYTES",
+    "MatchingError",
+    "MatchingQueues",
+    "MpiConfig",
+    "MpiError",
+    "MpiMessage",
+    "MpiProcess",
+    "OPS",
+    "Padded",
+    "Payload",
+    "PostedRecv",
+    "RankError",
+    "RecvRequest",
+    "Request",
+    "RequestError",
+    "SendRequest",
+    "Status",
+    "TruncationError",
+    "pack_payload",
+    "payload_nbytes",
+    "resolve_op",
+    "unpack_payload",
+    "wait_all",
+]

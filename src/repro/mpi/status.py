@@ -1,0 +1,25 @@
+"""Receive status objects (the MPI ``MPI_Status`` analogue)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Wildcards (match any source rank / any tag).
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclasses.dataclass(frozen=True)
+class Status:
+    """What a completed receive reports about the matched message."""
+
+    source: int
+    tag: int
+    nbytes: int
+    sent_at: float
+    received_at: float
+
+    @property
+    def transit_time(self) -> float:
+        """Send-call to matched-receive latency (virtual seconds)."""
+        return self.received_at - self.sent_at

@@ -1,0 +1,21 @@
+"""Exceptions for the RPC layer."""
+
+from __future__ import annotations
+
+
+class RpcError(Exception):
+    """Base class for RPC-layer errors."""
+
+
+class RemoteError(RpcError):
+    """An exception raised by the remote method, re-raised at the caller.
+
+    Carries the remote exception's type name and message (the original
+    object does not travel: only its description does, as in any real
+    RPC system).
+    """
+
+    def __init__(self, remote_type: str, message: str):
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_message = message

@@ -1,0 +1,66 @@
+"""Futures for asynchronous remote method invocation."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .errors import RemoteError, RpcError
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .service import RpcRuntime
+
+
+class RpcFuture:
+    """The eventual result of an ``acall``.
+
+    ``yield from future.wait()`` blocks (in the Nexus poll loop) until
+    the reply arrives, then returns the result or raises
+    :class:`RemoteError`.  ``future.done`` is the nonblocking check.
+    """
+
+    def __init__(self, runtime: "RpcRuntime", seq: int, method: str):
+        self.runtime = runtime
+        self.seq = seq
+        self.method = method
+        self.done = False
+        self._value: object = None
+        self._error: RemoteError | None = None
+
+    # -- completion (reply-handler side) ------------------------------------
+
+    def resolve(self, value: object) -> None:
+        if self.done:
+            raise RpcError(f"future for call {self.seq} resolved twice")
+        self._value = value
+        self.done = True
+
+    def reject(self, error: RemoteError) -> None:
+        if self.done:
+            raise RpcError(f"future for call {self.seq} resolved twice")
+        self._error = error
+        self.done = True
+
+    # -- caller side ----------------------------------------------------------
+
+    @property
+    def failed(self) -> bool:
+        return self.done and self._error is not None
+
+    def result(self) -> object:
+        """The value (or raise), without waiting; call when ``done``."""
+        if not self.done:
+            raise RpcError(f"call {self.seq} ({self.method!r}) has not "
+                           "completed")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def wait(self):
+        """Generator: poll until the reply arrives; return the result."""
+        yield from self.runtime.context.wait(lambda: self.done)
+        return self.result()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = ("failed" if self.failed else
+                 "done" if self.done else "pending")
+        return f"<RpcFuture {self.method!r} seq={self.seq} {state}>"

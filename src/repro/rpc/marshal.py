@@ -1,0 +1,58 @@
+"""Argument marshalling for RPC: payloads plus mobile global pointers.
+
+Arguments and results use the same typed payload encoding as the MPI
+layer (:mod:`repro.mpi.datatypes`), extended with one case: a
+:class:`GlobalPointer` argument travels as its startpoint's wire form,
+so the callee receives a *working* pointer — transport re-selected for
+the callee's location.  Passing object references through remote calls
+is the distributed-naming property the paper highlights.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..core.buffers import Buffer
+from ..mpi.datatypes import pack_payload, unpack_payload
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..core.context import Context
+
+_PLAIN = 0
+_POINTER = 1
+
+
+def pack_value(buffer: Buffer, value: object) -> None:
+    """Append one RPC argument/result to ``buffer``."""
+    from .pointer import GlobalPointer  # local import: cycle with pointer
+
+    if isinstance(value, GlobalPointer):
+        buffer.put_int(_POINTER)
+        buffer.put_startpoint(value.startpoint)
+    else:
+        buffer.put_int(_PLAIN)
+        pack_payload(buffer, _t.cast(_t.Any, value))
+
+
+def unpack_value(buffer: Buffer, context: "Context") -> object:
+    """Extract one RPC argument/result (re-homing pointers into
+    ``context``)."""
+    from .pointer import GlobalPointer
+
+    kind = buffer.get_int()
+    if kind == _POINTER:
+        return GlobalPointer(buffer.get_startpoint(context))
+    return unpack_payload(buffer)
+
+
+def pack_values(buffer: Buffer, values: _t.Sequence[object]) -> None:
+    """Append a counted sequence of RPC arguments to ``buffer``."""
+    buffer.put_int(len(values))
+    for value in values:
+        pack_value(buffer, value)
+
+
+def unpack_values(buffer: Buffer, context: "Context") -> list[object]:
+    """Extract a counted sequence of RPC arguments from ``buffer``."""
+    count = buffer.get_int()
+    return [unpack_value(buffer, context) for _ in range(count)]

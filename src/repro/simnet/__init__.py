@@ -1,0 +1,65 @@
+"""repro.simnet — deterministic discrete-event simulation substrate.
+
+This package is the machine the rest of the reproduction runs on: a
+from-scratch SimPy-style event engine (:class:`Simulator`, generator
+coroutine :class:`Process`\\ es, :class:`Store`/:class:`Resource`
+primitives) plus a parallel-machine model (:class:`Host`, :class:`Machine`,
+:class:`Partition`, :class:`Network`, :class:`LinkProfile`) standing in for
+the paper's IBM SP2 and I-WAY hardware.
+
+Public API::
+
+    from repro.simnet import Simulator, Store, Resource
+    from repro.simnet import Host, Machine, Partition, Network, LinkProfile
+"""
+
+from .clock import VirtualClock
+from .engine import Simulator
+from .errors import (
+    ClockError,
+    EventError,
+    Interrupt,
+    ProcessError,
+    ScheduleError,
+    SimnetError,
+)
+from .events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from .link import Delivery, LinkProfile, Pipe
+from .network import Machine, Network, Partition, Reservation, WanLink
+from .node import Host
+from .process import Process
+from .random import RandomStreams
+from .resources import Resource, Store
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "ClockError",
+    "Condition",
+    "ConditionValue",
+    "Delivery",
+    "Event",
+    "EventError",
+    "Host",
+    "Interrupt",
+    "LinkProfile",
+    "Machine",
+    "Network",
+    "Partition",
+    "Pipe",
+    "Process",
+    "ProcessError",
+    "RandomStreams",
+    "Reservation",
+    "Resource",
+    "ScheduleError",
+    "SimnetError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+    "VirtualClock",
+    "WanLink",
+]

@@ -1,0 +1,46 @@
+"""Virtual time for the discrete-event engine.
+
+All times in :mod:`repro.simnet` are expressed in **seconds** as floats.
+The clock only ever moves forward; :class:`VirtualClock` enforces this so
+that a buggy cost model cannot silently corrupt an experiment.
+"""
+
+from __future__ import annotations
+
+from .errors import ClockError
+
+
+class VirtualClock:
+    """A monotonically non-decreasing simulated clock.
+
+    The clock is owned by a :class:`~repro.simnet.engine.Simulator`; user
+    code reads it through ``sim.now`` and never writes it directly.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        if start < 0.0:
+            raise ClockError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to absolute time ``t``.
+
+        Raises :class:`ClockError` if ``t`` lies in the past — discrete-event
+        causality means events must be processed in non-decreasing time
+        order, so a backwards move always indicates an engine bug.
+        """
+        if t < self._now:
+            raise ClockError(
+                f"clock cannot move backwards: now={self._now!r}, requested={t!r}"
+            )
+        self._now = t
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VirtualClock(now={self._now!r})"

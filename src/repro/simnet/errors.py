@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro.simnet` discrete-event engine."""
+
+from __future__ import annotations
+
+
+class SimnetError(Exception):
+    """Base class for all simulation-engine errors."""
+
+
+class ClockError(SimnetError):
+    """The virtual clock was asked to move backwards or to an invalid time."""
+
+
+class ScheduleError(SimnetError):
+    """An event could not be scheduled (negative delay, re-schedule, ...)."""
+
+
+class EventError(SimnetError):
+    """Illegal operation on an :class:`~repro.simnet.events.Event`."""
+
+
+class ProcessError(SimnetError):
+    """Illegal operation on a simulated process."""
+
+
+class Interrupt(Exception):
+    """Raised *inside* a simulated process when another process interrupts it.
+
+    The interrupting party supplies an arbitrary ``cause`` describing why the
+    interrupt happened (for example a failure-injection record).  This is an
+    ordinary exception: the interrupted process may catch it and continue,
+    which is how transport-failover logic is written in
+    :mod:`repro.apps.stream`.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class SimulationFinished(SimnetError):
+    """Internal signal used by :meth:`Simulator.run` to stop the event loop."""
+
+    def __init__(self, value: object = None):
+        super().__init__(value)
+        self.value = value

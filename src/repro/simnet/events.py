@@ -1,0 +1,267 @@
+"""Events: the synchronisation primitive of the discrete-event engine.
+
+An :class:`Event` is a one-shot condition that simulated processes can wait
+on by ``yield``-ing it.  Events move through three states:
+
+* *pending* — created but not yet triggered;
+* *triggered* — :meth:`Event.succeed` or :meth:`Event.fail` has been called
+  and the event is queued for processing by the simulator;
+* *processed* — the simulator has invoked the event's callbacks (which is
+  what resumes waiting processes).
+
+The design follows the classic SimPy shape but is implemented from scratch
+and trimmed to what the Nexus reproduction needs: plain events, timeouts,
+and ``AllOf``/``AnyOf`` condition events.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .errors import EventError, ScheduleError
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Simulator
+
+#: Sentinel for "event has not been triggered yet".
+PENDING = object()
+
+#: Scheduling priorities.  Lower values are processed first among events
+#: scheduled for the same simulated instant.
+URGENT = 0
+NORMAL = 1
+LOW = 2
+
+
+class Event:
+    """A one-shot occurrence that processes may wait for.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.simnet.engine.Simulator`.
+    name:
+        Optional debugging label shown in ``repr``.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_defused", "name")
+
+    def __init__(self, sim: "Simulator", name: str | None = None):
+        self.sim = sim
+        #: Callables invoked (with this event) when the event is processed.
+        #: Set to ``None`` once processed: appending afterwards is an error.
+        self.callbacks: list[_t.Callable[["Event"], None]] | None = []
+        self._value: object = PENDING
+        self._ok: bool | None = None
+        self._scheduled = False
+        self._defused = False
+        self.name = name
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the simulator has run this event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise EventError(f"{self!r} has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The value the event was triggered with (or its exception)."""
+        if self._value is PENDING:
+            raise EventError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+
+    def succeed(self, value: object = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``.
+
+        Waiting processes resume with ``value`` as the result of their
+        ``yield``.  Returns ``self`` for chaining.
+        """
+        if self._value is not PENDING:
+            raise EventError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self, delay=0.0, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event as failed with ``exception``.
+
+        Waiting processes see ``exception`` raised at their ``yield``.  If
+        *nothing* is waiting when the failure is processed, the exception is
+        re-raised by the simulator (unless :meth:`defused` is set) so that
+        failures cannot silently vanish.
+        """
+        if self._value is not PENDING:
+            raise EventError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise EventError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(self, delay=0.0, priority=priority)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the simulator won't re-raise."""
+        self._defused = True
+
+    @property
+    def defused(self) -> bool:
+        return self._defused
+
+    # -- composition ----------------------------------------------------
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.sim, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.sim, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or self.__class__.__name__
+        state = (
+            "processed" if self.processed else
+            "triggered" if self.triggered else "pending"
+        )
+        return f"<{label} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay.
+
+    Created via :meth:`Simulator.timeout`; ``yield sim.timeout(d)`` suspends
+    the current process for ``d`` simulated seconds.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: object = None,
+                 priority: int = NORMAL, name: str | None = None):
+        if delay < 0:
+            raise ScheduleError(f"negative timeout delay {delay!r}")
+        super().__init__(sim, name=name)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        sim._enqueue(self, delay=self.delay, priority=priority)
+
+
+class ConditionValue:
+    """Mapping-like result of a condition event.
+
+    Maps each *triggered* constituent event to its value, preserving the
+    order events were given in.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: list[Event]):
+        self.events = events
+
+    def __getitem__(self, event: Event) -> object:
+        if event not in self.events:
+            raise KeyError(repr(event))
+        return event.value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> _t.Iterator[Event]:
+        return iter(self.events)
+
+    def values(self) -> list[object]:
+        """Values of the triggered events, in constituent order."""
+        return [e.value for e in self.events]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.events == other.events
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{e!r}: {e.value!r}" for e in self.events)
+        return f"<ConditionValue {{{inner}}}>"
+
+
+class Condition(Event):
+    """An event that triggers when a predicate over child events holds.
+
+    Children that fail cause the condition itself to fail with the same
+    exception (and the child is defused, since the condition now owns it).
+    """
+
+    __slots__ = ("_events", "_check", "_remaining")
+
+    def __init__(self, sim: "Simulator", check: _t.Callable[[int, int], bool],
+                 events: _t.Iterable[Event], name: str | None = None):
+        super().__init__(sim, name=name)
+        self._events = list(events)
+        self._check = check
+        self._remaining = 0
+        for event in self._events:
+            if event.sim is not sim:
+                raise EventError("condition mixes events from different simulators")
+
+        if not self._events:
+            self.succeed(ConditionValue([]))
+            return
+
+        for event in self._events:
+            if event.processed:
+                self._on_child(event)
+            else:
+                assert event.callbacks is not None
+                event.callbacks.append(self._on_child)
+
+    def _done_children(self) -> list[Event]:
+        # Processed, not merely triggered: a Timeout carries its value from
+        # creation, so "value decided" must not count as "has occurred".
+        return [e for e in self._events if e.processed]
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(_t.cast(BaseException, event.value))
+            return
+        done = len(self._done_children())
+        if self._check(len(self._events), done):
+            self.succeed(ConditionValue(self._done_children()))
+
+
+class AllOf(Condition):
+    """Triggers when *all* constituent events have triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: _t.Iterable[Event],
+                 name: str | None = None):
+        super().__init__(sim, lambda total, done: done == total, events, name=name)
+
+
+class AnyOf(Condition):
+    """Triggers when *any* constituent event has triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: _t.Iterable[Event],
+                 name: str | None = None):
+        super().__init__(sim, lambda total, done: done >= 1, events, name=name)

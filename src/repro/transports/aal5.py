@@ -1,0 +1,41 @@
+"""AAL-5 (ATM Adaptation Layer 5) communication module.
+
+Models a dedicated ATM PVC of OC-3 class between hosts equipped with an
+ATM interface (host attribute ``"atm"``): lower latency than routed TCP,
+moderate bandwidth, a cheaper-than-select but still kernel-crossing poll.
+The paper credits Steve Schwab's AAL5 prototype module.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .base import ContextLike, Descriptor
+from .ipbase import IpTransport
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..simnet.node import Host
+
+
+class Aal5Transport(IpTransport):
+    """AAL-5 over a provisioned ATM virtual circuit."""
+
+    name = "aal5"
+    speed_rank = 5
+
+    def export_descriptor(self, context: ContextLike) -> Descriptor | None:
+        if not context.host.attributes.get("atm"):
+            return None
+        return Descriptor(
+            method=self.name,
+            context_id=context.id,
+            params=(("host", context.host.id),),
+        )
+
+    def applicable(self, local: ContextLike, descriptor: Descriptor,
+                   remote_host: "Host") -> bool:
+        if not local.host.attributes.get("atm"):
+            return False
+        if not remote_host.attributes.get("atm"):
+            return False
+        return self.network.ip_connected(local.host, remote_host, self.name)

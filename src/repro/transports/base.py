@@ -1,0 +1,274 @@
+"""Communication-module interface (the paper's Figure 2 machinery).
+
+A *communication module* implements one low-level communication method.
+Per the paper, each module exposes a standard interface — initialisation,
+descriptor construction, communication functions — accessed through a
+*function table* so that many modules coexist in one executable.  In this
+Python reproduction the function table is simply the
+:class:`Transport` object itself (its bound methods *are* the table); the
+:class:`~repro.transports.registry.TransportRegistry` plays the role of
+module loading.
+
+Key types:
+
+* :class:`Descriptor` — what a context publishes about how to reach it via
+  one method ("communication descriptor"): method name, context id, plus
+  method-specific parameters (e.g. MPL's node number and session id).
+* :class:`WireMessage` — the RSR envelope that actually travels.
+* :class:`Transport` — the module ABC: applicability checks, comm-object
+  state construction, ``send`` and ``poll``.
+
+Transports are written against a narrow structural view of a Nexus
+context (:class:`ContextLike`) to keep the layering acyclic: transports
+sit *below* :mod:`repro.core` yet must deliver into contexts.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import typing as _t
+
+from ..simnet.resources import Store
+from .costmodels import TransportCosts
+from .errors import TransportError
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+    from ..simnet.engine import Simulator
+    from ..simnet.network import Network
+    from ..simnet.node import Host
+    from ..simnet.trace import Tracer
+
+
+@dataclasses.dataclass(frozen=True)
+class Descriptor:
+    """A communication descriptor: how to reach one context via one method.
+
+    ``params`` is a tuple of key/value pairs (not a dict) so descriptors
+    are hashable and their wire form is canonical.
+    """
+
+    method: str
+    context_id: int
+    params: tuple[tuple[str, object], ...] = ()
+
+    def param(self, key: str, default: object = None) -> object:
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+    def with_param(self, key: str, value: object) -> "Descriptor":
+        """A copy with ``key`` set (replacing an existing value)."""
+        params = tuple((k, v) for k, v in self.params if k != key)
+        return dataclasses.replace(self, params=params + ((key, value),))
+
+    @property
+    def wire_size(self) -> int:
+        """Approximate serialised size in bytes (descriptor tables travel
+        with startpoints; the paper notes they cost "a few tens of bytes")."""
+        size = 8 + len(self.method)
+        for k, v in self.params:
+            size += len(k) + (len(str(v)) if not isinstance(v, (int, float)) else 8)
+        return size
+
+    def to_wire(self) -> tuple:
+        return (self.method, self.context_id, self.params)
+
+    @classmethod
+    def from_wire(cls, wire: tuple) -> "Descriptor":
+        method, context_id, params = wire
+        return cls(method=method, context_id=context_id,
+                   params=tuple((k, v) for k, v in params))
+
+
+@dataclasses.dataclass
+class WireMessage:
+    """The RSR envelope as it travels over a transport.
+
+    ``payload`` is opaque to the transport (the core layer packs a
+    :class:`repro.core.buffers.Buffer`); ``nbytes`` is the wire size
+    including the Nexus header.
+    """
+
+    handler: str
+    endpoint_id: int
+    src_context: int
+    dst_context: int
+    payload: object
+    nbytes: int
+    method: str = ""
+    sent_at: float = 0.0
+    arrived_at: float = 0.0
+    headers: dict[str, object] = dataclasses.field(default_factory=dict)
+
+    @property
+    def age_key(self) -> tuple[float, int]:
+        return (self.sent_at, self.endpoint_id)
+
+
+@dataclasses.dataclass
+class InTransitMessage:
+    """A message that has reached the destination *device* but has not yet
+    been drained to user space (fast-transport receive model)."""
+
+    message: WireMessage
+    arrival_start: float
+    ready_at: float
+    foreign_at_arrival: float
+
+
+class TransportServices:
+    """What the runtime hands every transport at construction time.
+
+    ``resolve_context`` is installed by the runtime once contexts exist;
+    it maps a context id to the live context object so transports can
+    route by id (the only form of addressing that travels on the wire).
+    """
+
+    def __init__(self, sim: "Simulator", network: "Network",
+                 tracer: "Tracer", rng: "np.random.Generator"):
+        self.sim = sim
+        self.network = network
+        self.tracer = tracer
+        self.rng = rng
+        self.resolve_context: _t.Callable[[int], "ContextLike"] | None = None
+        #: Installed by the runtime; carries Nexus-layer cost constants
+        #: (drain-overlap factor etc.).
+        self.runtime_costs: object | None = None
+
+    def context(self, context_id: int) -> "ContextLike":
+        if self.resolve_context is None:
+            raise TransportError(
+                "transport services have no context resolver installed"
+            )
+        return self.resolve_context(context_id)
+
+
+@_t.runtime_checkable
+class ContextLike(_t.Protocol):
+    """The slice of a Nexus context that transports interact with."""
+
+    id: int
+    name: str
+    host: "Host"
+    foreign_poll_total: float
+    device_busy: dict[str, float]
+
+    def inbox(self, method: str) -> Store: ...
+    def device_queue(self, method: str) -> list[InTransitMessage]: ...
+
+
+class Transport(abc.ABC):
+    """Base class for communication modules.
+
+    Subclasses define class attributes ``name`` and ``speed_rank`` (lower
+    rank = faster method; descriptor tables are ordered by rank to realise
+    the paper's "fastest first" automatic selection policy) and implement
+    the four interface methods.
+    """
+
+    #: Module name; also the descriptor ``method`` field.
+    name: _t.ClassVar[str]
+    #: Ordering key for fastest-first descriptor tables (lower = faster).
+    speed_rank: _t.ClassVar[int]
+
+    def __init__(self, services: TransportServices, costs: TransportCosts):
+        self.services = services
+        self.costs = costs
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.messages_dropped = 0
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def wire_method(self) -> str:
+        """The method name used for wire-level lookups (switch profiles,
+        per-transport WAN links).  Normally ``self.name``; aliased
+        transports — e.g. a compression stack riding TCP, or secure TCP —
+        override it so their traffic uses the underlying wire."""
+        return getattr(self, "_wire_method", self.name)
+
+    @property
+    def sim(self) -> "Simulator":
+        return self.services.sim
+
+    @property
+    def network(self) -> "Network":
+        return self.services.network
+
+    @property
+    def poll_cost(self) -> float:
+        return self.costs.poll_cost
+
+    @property
+    def steals_device_time(self) -> bool:
+        return self.costs.steals_device_time
+
+    @property
+    def supports_blocking(self) -> bool:
+        return self.costs.supports_blocking
+
+    # -- interface ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def export_descriptor(self, context: ContextLike) -> Descriptor | None:
+        """The descriptor ``context`` publishes for this method, or ``None``
+        if this method cannot possibly reach ``context``."""
+
+    @abc.abstractmethod
+    def applicable(self, local: ContextLike, descriptor: Descriptor,
+                   remote_host: "Host") -> bool:
+        """Can ``local`` use this method to reach the descriptor's context?
+
+        This is the method-specific criterion of Section 3.2 (e.g. MPL
+        requires both contexts in the same SP partition & session).
+        """
+
+    def open(self, local: ContextLike, descriptor: Descriptor
+             ) -> "dict[str, object]":
+        """Construct communication-object state for a new connection.
+
+        Returns a mutable state dict stored in the comm object.  The base
+        implementation records the (one-time) connect cost which the comm
+        object charges on first use.
+        """
+        return {"connect_cost": self.costs.connect_cost, "connected": False}
+
+    @abc.abstractmethod
+    def send(self, local: ContextLike, state: dict, descriptor: Descriptor,
+             message: WireMessage):
+        """Generator: transmit ``message``; resumes when the sender may
+        continue (asynchronous RSR semantics — *not* when delivered)."""
+
+    @abc.abstractmethod
+    def poll(self, context: ContextLike):
+        """Generator: one poll of this method at ``context``.
+
+        Charges this method's poll cost to virtual time and returns the
+        list of :class:`WireMessage` now ready for dispatch.
+        """
+
+    # -- shared helpers -----------------------------------------------------
+
+    def _charge(self, seconds: float):
+        """Generator: charge CPU time to the virtual clock."""
+        if seconds > 0:
+            yield self.sim.timeout(seconds)
+
+    def _destination(self, descriptor: Descriptor) -> "ContextLike":
+        """Resolve the live destination context of a descriptor."""
+        return self.services.context(descriptor.context_id)
+
+    def record_send(self, message: WireMessage) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += message.nbytes
+        tracer = self.services.tracer
+        tracer.incr(f"{self.name}.messages_sent")
+        tracer.incr(f"{self.name}.bytes_sent", message.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} sent={self.messages_sent}>"

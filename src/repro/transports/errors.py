@@ -1,0 +1,19 @@
+"""Exceptions for the transport layer."""
+
+from __future__ import annotations
+
+
+class TransportError(Exception):
+    """Base class for communication-module errors."""
+
+
+class NotApplicableError(TransportError):
+    """A method was asked to connect to a context it cannot reach."""
+
+
+class DeliveryError(TransportError):
+    """A message could not be delivered (routing failure, closed context)."""
+
+
+class RegistryError(TransportError):
+    """Unknown transport name or bad dynamic-load specification."""

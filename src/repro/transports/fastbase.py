@@ -1,0 +1,117 @@
+"""Shared machinery for *fast* transports (local, shm, MPL, Myrinet).
+
+Fast transports model the parallel-computer communication devices the
+paper contrasts with TCP: cheap probes, high bandwidth, and a
+**receiver-drain** delivery model.  A message reaches the destination's
+communication *device* after the wire latency, and the device drains it
+to user space at device bandwidth — but expensive foreign polls (TCP/UDP
+``select``) stall the drain.  This implements the paper's hypothesis for
+the Figure 4 large-message degradation:
+
+    "repeated kernel calls due to select slow the transfer of data from
+    the SP2 communication device to user space"
+
+Mechanism: every context carries a monotone accumulator
+``foreign_poll_total`` of time spent in device-stealing polls (maintained
+by the poll manager).  Each in-transit message records the accumulator
+value when it starts arriving; at poll time the message is deliverable
+once::
+
+    now >= ready_at + (1 - overlap) * (foreign_total_now - foreign_at_arrival)
+
+where ``ready_at`` is the unhindered completion time (arrival start plus
+``nbytes / bandwidth``, serialised FIFO at the device) and ``overlap`` is
+:attr:`RuntimeCosts.select_drain_overlap`.  With no foreign polls the
+penalty is zero and the device runs at full speed.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .base import (
+    ContextLike,
+    Descriptor,
+    InTransitMessage,
+    Transport,
+    WireMessage,
+)
+
+
+class FastTransport(Transport):
+    """Base class implementing the receiver-drain send/poll protocol."""
+
+    def send(self, local: ContextLike, state: dict, descriptor: Descriptor,
+             message: WireMessage):
+        costs = self.costs
+        overhead = costs.send_overhead + costs.per_byte_send * message.nbytes
+        yield from self._charge(overhead)
+        message.method = self.name
+        message.sent_at = self.sim.now
+        self.record_send(message)
+        destination = self._route(descriptor)
+        self.sim.process(
+            self._arrive_later(destination, message),
+            name=f"{self.name}:arrive:{message.handler}",
+        )
+
+    def _route(self, descriptor: Descriptor) -> ContextLike:
+        """Destination context (subclasses may override, e.g. local)."""
+        return self._destination(descriptor)
+
+    def _arrive_later(self, destination: ContextLike, message: WireMessage):
+        yield self.sim.timeout(self.costs.latency)
+        self._enqueue_at_device(destination, message)
+
+    def _enqueue_at_device(self, destination: ContextLike,
+                           message: WireMessage) -> None:
+        now = self.sim.now
+        queue = destination.device_queue(self.name)
+        busy = destination.device_busy.get(self.name, 0.0)
+        start = max(now, busy)
+        ready_at = start + message.nbytes / self.costs.bandwidth
+        destination.device_busy[self.name] = ready_at
+        queue.append(InTransitMessage(
+            message=message,
+            arrival_start=now,
+            ready_at=ready_at,
+            foreign_at_arrival=destination.foreign_poll_total,
+        ))
+        notify = getattr(destination, "note_arrival", None)
+        if notify is not None:
+            notify()
+
+    def poll(self, context: ContextLike):
+        yield from self._charge(self.costs.poll_cost)
+        return self.collect(context)
+
+    def collect(self, context: ContextLike) -> list[WireMessage]:
+        """Deliver every drained in-transit message (FIFO, no cost).
+
+        Split out from :meth:`poll` so bulk/analytic polling can reuse the
+        drain logic without paying per-poll event overhead.
+        """
+        queue = context.device_queue(self.name)
+        if not queue:
+            return []
+        now = self.sim.now
+        overlap = self._overlap()
+        foreign_now = context.foreign_poll_total
+        ready: list[WireMessage] = []
+        while queue:
+            transit = queue[0]
+            penalty = (1.0 - overlap) * (foreign_now - transit.foreign_at_arrival)
+            if now + 1e-15 < transit.ready_at + penalty:
+                break  # device is FIFO: later messages cannot overtake
+            queue.pop(0)
+            transit.message.arrived_at = now
+            ready.append(transit.message)
+        return ready
+
+    def pending_transit(self, context: ContextLike) -> int:
+        """Number of messages still draining at ``context`` (enquiry)."""
+        return len(context.device_queue(self.name))
+
+    def _overlap(self) -> float:
+        runtime_costs = getattr(self.services, "runtime_costs", None)
+        return runtime_costs.select_drain_overlap if runtime_costs else 1.0

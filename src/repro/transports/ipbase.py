@@ -1,0 +1,174 @@
+"""Shared machinery for IP-family transports (TCP, UDP, AAL-5).
+
+These transports differ from the fast family in three ways that matter to
+the paper's experiments:
+
+* **Kernel-buffer delivery** — an arriving message lands in the
+  destination's kernel buffer (the transport inbox) at wire-arrival time
+  regardless of what the application is doing; it is *detected* only when
+  the application next polls this method.  The gap between arrival and
+  detection is exactly the latency that `skip_poll` trades against poll
+  cost (Figures 6, Table 1).
+* **Expensive polls** — ``select``-class polls cost ~100 µs and steal
+  device time from fast transports (``steals_device_time``).
+* **Connections** — TCP-style methods pay a one-time connection cost per
+  communication object; per-connection channels serialise outgoing data.
+
+Routing honours a ``"via"`` descriptor parameter: when the forwarding
+service (Section 3.3) is installed, a partition member's TCP descriptor
+is rewritten to route through the forwarder context, which re-sends over
+MPL.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..simnet.link import LinkProfile
+from ..simnet.resources import Resource
+from .base import ContextLike, Descriptor, Transport, WireMessage
+from .errors import DeliveryError
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..simnet.node import Host
+
+
+class IpTransport(Transport):
+    """Base class for routed, poll-expensive, kernel-buffered transports."""
+
+    def export_descriptor(self, context: ContextLike) -> Descriptor | None:
+        return Descriptor(
+            method=self.name,
+            context_id=context.id,
+            params=(("host", context.host.id),),
+        )
+
+    def applicable(self, local: ContextLike, descriptor: Descriptor,
+                   remote_host: "Host") -> bool:
+        return self.network.ip_connected(local.host, remote_host,
+                                         self.wire_method)
+
+    # -- profiles ------------------------------------------------------------
+
+    def profile_between(self, src: "Host", dst: "Host") -> LinkProfile:
+        """Effective wire profile between two hosts for this method.
+
+        Same machine → the machine's switch profile for this method if one
+        is configured, else this module's default costs; different
+        machines → the collapsed WAN path profile.
+        """
+        if src.machine is dst.machine:
+            profile = None
+            if src.machine is not None:
+                profile = src.machine.switch_profile(self.wire_method)
+            if profile is not None:
+                return profile
+            return LinkProfile(
+                name=f"{self.name}-default",
+                latency=self.costs.latency,
+                bandwidth=self.costs.bandwidth,
+            )
+        profile = self.network.effective_profile(self.wire_method, src, dst)
+        if profile is None:
+            raise DeliveryError(
+                f"no {self.wire_method} route between {src.name!r} and "
+                f"{dst.name!r}"
+            )
+        return profile
+
+    # -- comm objects ------------------------------------------------------
+
+    def open(self, local: ContextLike, descriptor: Descriptor) -> dict:
+        state = super().open(local, descriptor)
+        state["channel"] = Resource(
+            self.sim, capacity=1,
+            name=f"{self.name}:{local.id}->{descriptor.context_id}",
+        )
+        state["profile"] = None  # resolved lazily on first send
+        return state
+
+    # -- send ------------------------------------------------------------------
+
+    def send(self, local: ContextLike, state: dict, descriptor: Descriptor,
+             message: WireMessage):
+        costs = self.costs
+        yield from self._charge(costs.send_overhead
+                                + costs.per_byte_send * message.nbytes)
+        if not state.get("connected", False):
+            yield from self._charge(state.get("connect_cost", 0.0))
+            state["connected"] = True
+            self.services.tracer.incr(f"{self.name}.connections")
+
+        via = descriptor.param("via")
+        hop_context = self._destination(
+            descriptor if via is None
+            else Descriptor(self.name, _t.cast(int, via))
+        )
+        profile = state.get("profile")
+        if (profile is None
+                or state.get("profile_host") is not hop_context.host
+                or state.get("profile_epoch") != self.network.epoch):
+            profile = self.profile_between(local.host, hop_context.host)
+            reserved = descriptor.param("reserved_bandwidth")
+            if reserved is not None:
+                # A QoS-reserved channel runs at its guaranteed rate.
+                profile = LinkProfile(
+                    name=f"{profile.name}+rsv",
+                    latency=profile.latency,
+                    bandwidth=float(_t.cast(float, reserved)),
+                    send_overhead=profile.send_overhead,
+                    recv_overhead=profile.recv_overhead,
+                )
+            state["profile"] = profile
+            state["profile_host"] = hop_context.host
+            state["profile_epoch"] = self.network.epoch
+
+        channel = _t.cast(Resource, state["channel"])
+        yield channel.request()
+        try:
+            message.method = self.name
+            message.sent_at = self.sim.now
+            yield self.sim.timeout(profile.serialization_time(message.nbytes))
+        finally:
+            channel.release()
+        self.record_send(message)
+
+        if not self.costs.reliable and self._drop():
+            self.messages_dropped += 1
+            self.services.tracer.incr(f"{self.name}.messages_dropped")
+            return
+
+        self.sim.process(
+            self._arrive_later(hop_context, message, profile.latency),
+            name=f"{self.name}:arrive:{message.handler}",
+        )
+
+    def _drop(self) -> bool:
+        p = self.costs.drop_probability
+        return p > 0.0 and bool(self.services.rng.random() < p)
+
+    def _arrive_later(self, destination: ContextLike, message: WireMessage,
+                      latency: float):
+        yield self.sim.timeout(latency)
+        message.arrived_at = self.sim.now
+        destination.inbox(self.name).put(message)
+        notify = getattr(destination, "note_arrival", None)
+        if notify is not None:
+            notify()
+
+    # -- poll --------------------------------------------------------------------
+
+    def poll(self, context: ContextLike):
+        yield from self._charge(self.costs.poll_cost)
+        return self.collect(context)
+
+    def collect(self, context: ContextLike) -> list[WireMessage]:
+        """Drain every message already in the kernel buffer (no cost)."""
+        inbox = context.inbox(self.name)
+        ready: list[WireMessage] = []
+        while True:
+            item = inbox.try_get()
+            if item is None:
+                break
+            ready.append(_t.cast(WireMessage, item))
+        return ready

@@ -1,0 +1,39 @@
+"""Myrinet communication module.
+
+The paper credits Steve Schwab with prototyping a Myricom module; we
+model mid-90s Myrinet as a fast user-level transport available between
+hosts of one machine that are both equipped with a Myrinet interface
+(host attribute ``"myrinet"``).
+"""
+
+from __future__ import annotations
+
+from .base import ContextLike, Descriptor
+from .fastbase import FastTransport
+
+if False:  # pragma: no cover - typing only
+    from ..simnet.node import Host
+
+
+class MyrinetTransport(FastTransport):
+    """Myricom Myrinet: user-level messaging within one machine."""
+
+    name = "myrinet"
+    speed_rank = 3
+
+    def export_descriptor(self, context: ContextLike) -> Descriptor | None:
+        if not context.host.attributes.get("myrinet"):
+            return None
+        machine = context.host.machine
+        return Descriptor(
+            method=self.name,
+            context_id=context.id,
+            params=(("fabric", machine.name if machine else ""),),
+        )
+
+    def applicable(self, local: ContextLike, descriptor: Descriptor,
+                   remote_host: "Host") -> bool:
+        if not local.host.attributes.get("myrinet"):
+            return False
+        machine = local.host.machine
+        return machine is not None and descriptor.param("fabric") == machine.name

@@ -1,0 +1,105 @@
+"""Security-enhanced communication method (Section 2 / Section 6).
+
+The paper motivates per-link security choices: "different mechanisms may
+be used to authenticate or protect the integrity or confidentiality of
+communicated data, depending on where communication is directed and what
+is communicated.  For example, control information might be encrypted
+outside a site, but not within, while data is not encrypted in either
+case" — and lists security-enhanced protocols as modules under
+development.
+
+:class:`SecureTcpTransport` is that module: TCP on the wire, plus
+
+* a Diffie-Hellman-style key exchange charged once per communication
+  object (on top of the TCP connect);
+* per-byte encrypt (sender) and decrypt (receiver) CPU costs calibrated
+  to mid-90s software DES throughput (~1.5 MB/s per direction);
+* a small per-message MAC/IV wire overhead.
+
+Because the method is just another entry in the descriptor table, all of
+the paper's machinery applies unchanged: it can be selected manually,
+required per startpoint, or chosen by the where-based
+:class:`repro.core.selection.SiteSecurityPolicy`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..simnet.link import LinkProfile
+from ..util.units import microseconds, milliseconds
+from .base import ContextLike, Descriptor, WireMessage
+from .costmodels import TCP_COSTS, TransportCosts
+from .ipbase import IpTransport
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..simnet.node import Host
+
+#: Software DES on a mid-90s RISC CPU: ~1.5 MB/s -> ~0.65 us/byte.
+ENCRYPT_PER_BYTE = microseconds(0.65)
+DECRYPT_PER_BYTE = microseconds(0.65)
+
+#: Key exchange + authentication handshake at connection setup.
+KEY_EXCHANGE_COST = milliseconds(20.0)
+
+#: MAC + IV wire overhead per message.
+MAC_BYTES = 24
+
+#: Secure-TCP cost model: the TCP wire plus crypto CPU.
+SECURE_TCP_COSTS: TransportCosts = TCP_COSTS.replace(
+    send_overhead=TCP_COSTS.send_overhead + microseconds(20.0),
+    recv_overhead=TCP_COSTS.recv_overhead + microseconds(20.0),
+    per_byte_send=TCP_COSTS.per_byte_send + ENCRYPT_PER_BYTE,
+    per_byte_recv=TCP_COSTS.per_byte_recv + DECRYPT_PER_BYTE,
+    connect_cost=TCP_COSTS.connect_cost + KEY_EXCHANGE_COST,
+)
+
+
+class SecureTcpTransport(IpTransport):
+    """Encrypted, authenticated TCP ("stcp")."""
+
+    name = "stcp"
+    speed_rank = 14  # slower than plain tcp/udp: chosen only on purpose
+
+    #: What actually flows on the wire (for switch/WAN profile lookup).
+    wire_method = "tcp"
+
+    def export_descriptor(self, context: ContextLike) -> Descriptor | None:
+        return Descriptor(
+            method=self.name,
+            context_id=context.id,
+            params=(("host", context.host.id), ("cipher", "des-cbc"),
+                    ("mac", "md5")),
+        )
+
+    def applicable(self, local: ContextLike, descriptor: Descriptor,
+                   remote_host: "Host") -> bool:
+        # Rides IP: applicable wherever plain TCP is.
+        return self.network.ip_connected(local.host, remote_host,
+                                         self.wire_method)
+
+    def profile_between(self, src: "Host", dst: "Host") -> LinkProfile:
+        """The wire is TCP; crypto costs live in the CPU cost model."""
+        if src.machine is dst.machine:
+            profile = None
+            if src.machine is not None:
+                profile = src.machine.switch_profile(self.wire_method)
+            if profile is not None:
+                return profile
+            return LinkProfile(name=f"{self.name}-default",
+                               latency=self.costs.latency,
+                               bandwidth=self.costs.bandwidth)
+        profile = self.network.effective_profile(self.wire_method, src, dst)
+        if profile is None:
+            from .errors import DeliveryError
+            raise DeliveryError(
+                f"no {self.wire_method} route between {src.name!r} and "
+                f"{dst.name!r}")
+        return profile
+
+    def send(self, local: ContextLike, state: dict, descriptor: Descriptor,
+             message: WireMessage):
+        message.nbytes += MAC_BYTES
+        message.headers["encrypted"] = True
+        message.headers["cipher"] = descriptor.param("cipher", "des-cbc")
+        yield from super().send(local, state, descriptor, message)

@@ -1,0 +1,34 @@
+"""Shared-memory communication module.
+
+Applicable between two contexts on the *same host* (the paper lists
+shared memory among the implemented modules and uses it as the canonical
+example of an automatically selected intra-node method).
+"""
+
+from __future__ import annotations
+
+from .base import ContextLike, Descriptor
+from .fastbase import FastTransport
+
+if False:  # pragma: no cover - typing only
+    from ..simnet.node import Host
+
+
+class ShmTransport(FastTransport):
+    """Same-host delivery through a shared-memory segment."""
+
+    name = "shm"
+    speed_rank = 1
+
+    def export_descriptor(self, context: ContextLike) -> Descriptor:
+        return Descriptor(
+            method=self.name,
+            context_id=context.id,
+            params=(("host", context.host.id),),
+        )
+
+    def applicable(self, local: ContextLike, descriptor: Descriptor,
+                   remote_host: "Host") -> bool:
+        if descriptor.context_id == local.id:
+            return False  # local module handles that case, and is cheaper
+        return descriptor.param("host") == local.host.id

@@ -1,0 +1,38 @@
+"""TCP communication module.
+
+The workhorse wide-area method of the paper: applicable between any two
+IP-connected contexts, reliable and ordered per connection, but with an
+expensive ``select``-based poll (>100 µs on the SP2) that interferes with
+MPL — the central tension the multimethod machinery manages.
+"""
+
+from __future__ import annotations
+
+from .ipbase import IpTransport
+
+
+class TcpTransport(IpTransport):
+    """TCP sockets: reliable, routed, kernel-buffered, expensive to poll.
+
+    State per communication object: an established flag (connection setup
+    is charged once, mirroring a ``connect(2)`` handshake), the resolved
+    wire profile, and a per-connection channel that serialises outgoing
+    segments.  A programmer can tune a connection through descriptor
+    parameters — e.g. ``socket_buffer_bytes`` below — which is the paper's
+    example of manual management of low-level method behaviour.
+    """
+
+    name = "tcp"
+    speed_rank = 10
+
+    #: Default socket buffer; sends larger than this are pipelined in
+    #: buffer-sized windows (coarse model of TCP windowing).
+    DEFAULT_SOCKET_BUFFER = 64 * 1024
+
+    def open(self, local, descriptor):
+        state = super().open(local, descriptor)
+        state["socket_buffer"] = int(
+            descriptor.param("socket_buffer_bytes",
+                             self.DEFAULT_SOCKET_BUFFER)  # type: ignore[arg-type]
+        )
+        return state

@@ -1,0 +1,19 @@
+"""UDP communication module: unreliable datagrams.
+
+The paper lists unreliable UDP among the implemented modules and
+motivates it with collaborative applications that prefer freshness over
+reliability (shared-state updates, video).  Messages may be silently
+dropped with the configured probability; delivery order between
+datagrams is not enforced beyond wire FIFO per destination.
+"""
+
+from __future__ import annotations
+
+from .ipbase import IpTransport
+
+
+class UdpTransport(IpTransport):
+    """Unreliable datagram transport over IP."""
+
+    name = "udp"
+    speed_rank = 11

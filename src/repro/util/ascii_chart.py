@@ -1,0 +1,94 @@
+"""Terminal line charts for the regenerated figures.
+
+The paper's Figures 4 and 6 are line plots; :func:`render_chart` draws
+the same series as an ASCII chart so the benchmark harness can show the
+*shape* (crossovers, knees, convergence) directly in a terminal or a
+text log, next to the exact numbers.
+
+Deliberately simple: linear or logarithmic axes, one glyph per series,
+nearest-cell rasterisation.  Not a plotting library — a lab notebook.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+from .records import Series
+
+#: Default glyphs assigned to series in order.
+GLYPHS = "*o+x#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int,
+           log: bool) -> int:
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi == lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(int(position * (cells - 1) + 0.5), cells - 1)
+
+
+def render_chart(series_list: _t.Sequence[Series], *, title: str = "",
+                 width: int = 64, height: int = 16,
+                 log_x: bool = False, log_y: bool = False) -> str:
+    """Render series as an ASCII chart with axes and a legend."""
+    if not series_list:
+        raise ValueError("nothing to plot")
+    points = [(x, y) for s in series_list for x, y in s.points]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if log_x and min(xs) <= 0:
+        raise ValueError("log_x requires positive x values")
+    if log_y and min(ys) <= 0:
+        raise ValueError("log_y requires positive y values")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(series_list):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        ordered = sorted(series.points)
+        cells = [(_scale(x, x_lo, x_hi, width, log_x),
+                  _scale(y, y_lo, y_hi, height, log_y))
+                 for x, y in ordered]
+        # connect consecutive points with interpolated cells
+        for (c0, r0), (c1, r1) in zip(cells, cells[1:]):
+            steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+            for step in range(steps + 1):
+                col = round(c0 + (c1 - c0) * step / steps)
+                row = round(r0 + (r1 - r0) * step / steps)
+                grid[height - 1 - row][col] = glyph
+        for col, row in cells:  # data points win over line cells
+            grid[height - 1 - row][col] = glyph
+
+    def fmt(value: float) -> str:
+        return f"{value:.4g}"
+
+    y_labels = [fmt(y_hi), fmt((y_lo + y_hi) / 2), fmt(y_lo)]
+    label_width = max(len(label) for label in y_labels)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_labels[0]
+        elif row_index == height // 2:
+            label = y_labels[1]
+        elif row_index == height - 1:
+            label = y_labels[2]
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_axis_note = " (log)" if log_x else ""
+    lines.append(f"{'':>{label_width}}  {fmt(x_lo)}"
+                 + f"{fmt(x_hi):>{width - len(fmt(x_lo))}}" + x_axis_note)
+    legend = "   ".join(f"{GLYPHS[i % len(GLYPHS)]} {s.name}"
+                        for i, s in enumerate(series_list))
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)

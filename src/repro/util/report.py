@@ -1,0 +1,80 @@
+"""Runtime diagnostics report: where did the (virtual) time go?
+
+:func:`runtime_report` assembles a plain-text report from a live
+:class:`~repro.core.runtime.Nexus` — per-context polling behaviour
+(cycles, per-method fires/time/hit-rates, skip settings), per-transport
+traffic, and the Nexus-level counters — the operational complement to
+the per-call enquiry API.  Used interactively and by the examples; the
+format is stable enough to grep in tests.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .units import format_bytes, format_time
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..core.runtime import Nexus
+
+
+def _context_section(nexus: "Nexus") -> list[str]:
+    from ..core.enquiry import poll_report
+
+    lines = ["contexts:"]
+    for context in nexus.contexts.values():
+        report = poll_report(context)
+        lines.append(
+            f"  {context.name} (id {context.id}, host {context.host.name})")
+        lines.append(
+            f"    methods {context.export_table().methods}  "
+            f"poll cycles {report.cycles}  "
+            f"fast-forwards {report.idle_fast_forwards}  "
+            f"rsrs in {context.rsrs_dispatched}")
+        for method in sorted(report.fires):
+            skip = report.skip.get(method, 1)
+            lines.append(
+                f"    {method:>8}: fired {report.fires[method]:>8} times, "
+                f"{format_time(report.poll_time[method]):>10} polling, "
+                f"{report.messages.get(method, 0):>6} msgs "
+                f"(hit rate {report.hit_rates[method]:.1%}, "
+                f"skip_poll {skip})")
+    return lines
+
+
+def _transport_section(nexus: "Nexus") -> list[str]:
+    lines = ["transports:"]
+    for name in nexus.transports.names():
+        transport = nexus.transports.get(name)
+        if transport.messages_sent == 0 and transport.messages_dropped == 0:
+            continue
+        lines.append(
+            f"  {name:>8}: {transport.messages_sent:>7} messages, "
+            f"{format_bytes(transport.bytes_sent):>10} sent"
+            + (f", {transport.messages_dropped} dropped"
+               if transport.messages_dropped else ""))
+    if len(lines) == 1:
+        lines.append("  (no traffic)")
+    return lines
+
+
+def _counters_section(nexus: "Nexus") -> list[str]:
+    lines = ["runtime counters:"]
+    for key in sorted(nexus.tracer.counters):
+        lines.append(f"  {key}: {nexus.tracer.counters[key]}")
+    if len(lines) == 1:
+        lines.append("  (none)")
+    return lines
+
+
+def runtime_report(nexus: "Nexus", *, include_counters: bool = True) -> str:
+    """A multi-section plain-text report over the whole runtime."""
+    lines = [
+        f"=== nexus runtime report @ t={format_time(nexus.now)} "
+        f"({nexus.sim.events_processed} events) ===",
+    ]
+    lines += _context_section(nexus)
+    lines += _transport_section(nexus)
+    if include_counters:
+        lines += _counters_section(nexus)
+    return "\n".join(lines)

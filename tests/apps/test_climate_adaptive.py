@@ -1,0 +1,39 @@
+"""Tests for the adaptive-skip_poll climate mode (§6 future work)."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.climate import TEST_CONFIG, ClimateMode, run_coupled_model
+
+
+@pytest.fixture(scope="module")
+def runs():
+    cfg = dataclasses.replace(TEST_CONFIG, steps=4)
+    return {
+        "adaptive": run_coupled_model(cfg, ClimateMode.ADAPTIVE),
+        "untuned": run_coupled_model(cfg, ClimateMode.SKIP_POLL,
+                                     skip_poll=1),
+        "tuned": run_coupled_model(cfg, ClimateMode.SKIP_POLL,
+                                   skip_poll=500),
+    }
+
+
+def test_adaptive_beats_untuned(runs):
+    assert (runs["adaptive"].seconds_per_step
+            < runs["untuned"].seconds_per_step)
+
+
+def test_adaptive_near_tuned(runs):
+    assert (runs["adaptive"].seconds_per_step
+            <= runs["tuned"].seconds_per_step * 1.10)
+
+
+def test_adaptive_cuts_select_time(runs):
+    assert runs["adaptive"].tcp_poll_time < 0.5 * runs["untuned"].tcp_poll_time
+
+
+def test_adaptive_physics_identical(runs):
+    assert runs["adaptive"].atmo_checksum == pytest.approx(
+        runs["untuned"].atmo_checksum)
+    assert runs["adaptive"].label == "adaptive skip poll"

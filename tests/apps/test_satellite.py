@@ -1,0 +1,65 @@
+"""Tests for the satellite image-processing pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.apps.satellite import (
+    convolve_rows,
+    make_frame,
+    run_satellite,
+)
+
+
+class TestFilter:
+    def test_kernel_preserves_constant_field(self):
+        image = np.full((8, 8), 7.0)
+        assert np.allclose(convolve_rows(image), 7.0)
+
+    def test_kernel_smooths(self):
+        image = np.zeros((9, 9))
+        image[4, 4] = 1.0
+        out = convolve_rows(image)
+        assert out[4, 4] == pytest.approx(0.25)   # centre weight
+        assert out[3, 4] == pytest.approx(0.125)
+        assert out.sum() == pytest.approx(1.0)    # mass conserved
+
+    def test_frames_deterministic(self):
+        assert np.array_equal(make_frame(3, 16, 16), make_frame(3, 16, 16))
+        assert not np.array_equal(make_frame(3, 16, 16),
+                                  make_frame(4, 16, 16))
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_satellite(frames=3, ny=32, nx=32, sp2_nodes=4)
+
+    def test_all_frames_displayed(self, result):
+        assert result.frames == 3
+        assert len(result.latencies) == 3
+        assert all(latency > 0 for latency in result.latencies)
+
+    def test_distributed_filter_matches_serial(self, result):
+        serial = [float(convolve_rows(make_frame(f, 32, 32)).sum())
+                  for f in range(3)]
+        assert np.allclose(result.checksums, serial)
+
+    def test_display_reached_over_atm(self, result):
+        # The CAVE has an ATM interface: the RPC should select aal5.
+        assert set(result.display_methods) == {"aal5"}
+
+    def test_latency_includes_wan_hops(self, result):
+        # instrument->sp2 is a 2-hop routed path (>= 50 ms of latency),
+        # so sub-50ms pipeline latency would mean we cheated somewhere.
+        assert min(result.latencies) > 0.05
+
+    def test_uneven_rows_rejected(self):
+        with pytest.raises(ValueError):
+            run_satellite(frames=1, ny=30, nx=32, sp2_nodes=4)
+
+    def test_more_ranks_reduce_filter_time(self):
+        # Not wall latency (dominated by WAN), but both must complete and
+        # agree numerically.
+        two = run_satellite(frames=2, ny=32, nx=32, sp2_nodes=2)
+        four = run_satellite(frames=2, ny=32, nx=32, sp2_nodes=4)
+        assert np.allclose(two.checksums, four.checksums)

@@ -1,0 +1,59 @@
+"""Tests for the instrument-stream and collaborative-multicast apps."""
+
+import pytest
+
+from repro.apps.collab import run_collab
+from repro.apps.stream import run_stream
+
+
+class TestStream:
+    def test_healthy_stream_stays_on_aal5(self):
+        result = run_stream(frames=15)
+        assert result.frames_received == 15
+        assert result.switches == []
+        assert all(f.method == "aal5" for f in result.frames)
+
+    def test_outage_triggers_failover_to_tcp(self):
+        result = run_stream(frames=30, outage_at_frame=8)
+        assert result.switches, "no failover happened"
+        switch_time, method = result.switches[0]
+        assert method == "tcp"
+        # All frames still delivered (both substrates are reliable).
+        assert result.frames_received == 30
+        late_methods = {f.method for f in result.frames if f.seq >= 20}
+        assert late_methods == {"tcp"}
+
+    def test_failover_restores_latency(self):
+        result = run_stream(frames=40, outage_at_frame=8)
+        degraded = [f.latency for f in result.frames
+                    if f.method == "aal5" and f.seq >= 8]
+        tcp = [f.latency for f in result.frames if f.method == "tcp"]
+        assert degraded and tcp
+        assert min(tcp) < max(degraded)
+
+    def test_loss_rate_zero_on_reliable_substrates(self):
+        result = run_stream(frames=10)
+        assert result.loss_rate == 0.0
+
+
+class TestCollab:
+    def test_all_participants_reach_final_state(self):
+        result = run_collab(participants=4, updates=15)
+        members = {k: v for k, v in result.state_versions.items()
+                   if k != "member0"}
+        assert all(version == 14 for version in members.values())
+
+    def test_updates_collapse_to_group_sends(self):
+        result = run_collab(participants=5, updates=10)
+        assert result.group_sends == 10          # one wire send per update
+        assert result.updates_delivered == 10 * 4  # fan-out 4
+        assert result.delivery_ratio == 1.0
+
+    def test_bulk_traffic_delivered_point_to_point(self):
+        result = run_collab(participants=3, updates=21, bulk_every=10,
+                            bulk_bytes=2048)
+        assert result.bulk_bytes_delivered == 2 * 2048  # updates 10 and 20
+
+    def test_no_bulk_when_disabled(self):
+        result = run_collab(participants=3, updates=12, bulk_every=0)
+        assert result.bulk_bytes_delivered == 0

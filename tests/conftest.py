@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.simnet import Simulator
+from repro.testbeds import make_iway, make_sp2
+
+
+@pytest.fixture
+def sim():
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def sp2():
+    """A 2+2 node SP2 testbed with the default transport set."""
+    return make_sp2(nodes_a=2, nodes_b=2)
+
+
+@pytest.fixture
+def sp2_wide():
+    """A 4+2 node SP2 testbed."""
+    return make_sp2(nodes_a=4, nodes_b=2)
+
+
+@pytest.fixture
+def iway():
+    """The miniature I-WAY testbed."""
+    return make_iway()
+
+
+def run_to_completion(nexus, *processes):
+    """Run until every given process completes; returns their values."""
+    done = nexus.sim.all_of(list(processes))
+    nexus.run(until=done)
+    return [p.value for p in processes]

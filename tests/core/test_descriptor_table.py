@@ -1,0 +1,82 @@
+"""Tests for the communication descriptor table."""
+
+import pytest
+
+from repro.core.descriptor_table import CommDescriptorTable
+from repro.core.errors import SelectionError
+from repro.transports.base import Descriptor
+
+
+def d(method, context_id=1, **params):
+    return Descriptor(method, context_id, tuple(params.items()))
+
+
+@pytest.fixture
+def table():
+    return CommDescriptorTable([d("mpl", node=1), d("tcp", host=1),
+                                d("udp", host=1)])
+
+
+class TestBasics:
+    def test_order_preserved(self, table):
+        assert table.methods == ["mpl", "tcp", "udp"]
+
+    def test_contains_and_entry(self, table):
+        assert "tcp" in table and "shm" not in table
+        assert table.entry("tcp").method == "tcp"
+        with pytest.raises(SelectionError):
+            table.entry("shm")
+
+    def test_indexing_and_len(self, table):
+        assert len(table) == 3
+        assert table[0].method == "mpl"
+
+    def test_copy_is_independent(self, table):
+        clone = table.copy()
+        clone.remove("udp")
+        assert "udp" in table and "udp" not in clone
+
+
+class TestManipulation:
+    """Section 3.2: reorder / add / delete to influence selection."""
+
+    def test_add_positional(self, table):
+        table.add(d("shm", host=1), position=0)
+        assert table.methods[0] == "shm"
+
+    def test_remove(self, table):
+        removed = table.remove("tcp")
+        assert removed.method == "tcp"
+        assert table.methods == ["mpl", "udp"]
+        with pytest.raises(SelectionError):
+            table.remove("tcp")
+
+    def test_replace_in_place(self, table):
+        table.replace("tcp", d("tcp", host=1, via=9))
+        assert table.methods == ["mpl", "tcp", "udp"]  # position kept
+        assert table.entry("tcp").param("via") == 9
+
+    def test_reorder(self, table):
+        table.reorder(["udp", "mpl"])
+        assert table.methods == ["udp", "mpl", "tcp"]
+
+    def test_promote(self, table):
+        table.promote("udp")
+        assert table.methods == ["udp", "mpl", "tcp"]
+
+
+class TestWire:
+    def test_roundtrip(self, table):
+        clone = CommDescriptorTable.from_wire(table.to_wire())
+        assert clone.methods == table.methods
+        assert clone.entry("mpl").param("node") == 1
+
+    def test_wire_size_tens_of_bytes(self, table):
+        # Paper: "the cost of communicating a few tens of bytes of
+        # descriptor table".
+        assert 20 <= table.wire_size <= 200
+
+    def test_empty_table(self):
+        table = CommDescriptorTable()
+        assert len(table) == 0
+        assert CommDescriptorTable.from_wire(table.to_wire()).methods == []

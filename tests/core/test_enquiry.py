@@ -1,0 +1,107 @@
+"""Tests for the enquiry API (Section 2.1's requirement)."""
+
+import pytest
+
+from repro.core import enquiry
+from repro.core.buffers import Buffer
+from repro.testbeds import make_sp2
+
+
+@pytest.fixture
+def bed():
+    return make_sp2(nodes_a=2, nodes_b=1)
+
+
+def test_available_methods(bed):
+    ctx = bed.nexus.context(bed.hosts_a[0])
+    assert enquiry.available_methods(ctx) == ["local", "mpl", "tcp"]
+
+
+def test_enabled_transports(bed):
+    assert enquiry.enabled_transports(bed.nexus) == ["local", "mpl", "tcp"]
+
+
+def test_applicable_methods_per_link(bed):
+    nexus = bed.nexus
+    a = nexus.context(bed.hosts_a[0])
+    same = nexus.context(bed.hosts_a[1])
+    far = nexus.context(bed.hosts_b[0])
+    sp = (a.new_startpoint().bind(same.new_endpoint())
+          .bind(far.new_endpoint()))
+    assert enquiry.applicable_methods(a, sp) == [["mpl", "tcp"], ["tcp"]]
+
+
+def test_current_methods_none_before_use(bed):
+    nexus = bed.nexus
+    a = nexus.context(bed.hosts_a[0])
+    b = nexus.context(bed.hosts_a[1])
+    sp = a.startpoint_to(b.new_endpoint())
+    assert enquiry.current_methods(sp) == [None]
+    sp.ensure_connected(sp.links[0])
+    assert enquiry.current_methods(sp) == ["mpl"]
+
+
+def test_link_profile_and_estimate(bed):
+    nexus = bed.nexus
+    a = nexus.context(bed.hosts_a[0])
+    b = nexus.context(bed.hosts_b[0])
+    sp = a.startpoint_to(b.new_endpoint())
+    assert enquiry.link_profile(a, sp) is None
+    assert enquiry.estimate_one_way(a, sp, 1000) is None
+    sp.ensure_connected(sp.links[0])
+    profile = enquiry.link_profile(a, sp)
+    assert profile.bandwidth == pytest.approx(8 * 1024 * 1024)
+    estimate = enquiry.estimate_one_way(a, sp, 8 * 1024 * 1024)
+    assert 1.0 < estimate < 1.2  # ~1 s serialisation + latency + overheads
+
+
+def test_estimate_scales_with_size(bed):
+    nexus = bed.nexus
+    a = nexus.context(bed.hosts_a[0])
+    b = nexus.context(bed.hosts_a[1])
+    sp = a.startpoint_to(b.new_endpoint())
+    sp.ensure_connected(sp.links[0])
+    small = enquiry.estimate_one_way(a, sp, 0)
+    large = enquiry.estimate_one_way(a, sp, 10 ** 6)
+    assert large > small
+
+
+def test_poll_report(bed):
+    nexus = bed.nexus
+    ctx = nexus.context(bed.hosts_a[0])
+    ctx.poll_manager.set_skip("tcp", 4)
+
+    def body():
+        for _ in range(8):
+            yield from ctx.poll()
+
+    done = nexus.spawn(body())
+    nexus.run(until=done)
+    report = enquiry.poll_report(ctx)
+    assert report.cycles == 8
+    assert report.fires["mpl"] == 8
+    assert report.fires["tcp"] == 2
+    assert report.skip == {"local": 1, "mpl": 1, "tcp": 4}
+    assert report.hit_rates["tcp"] == 0.0  # nothing ever arrived
+
+
+def test_transport_report_counts_traffic(bed):
+    nexus = bed.nexus
+    a = nexus.context(bed.hosts_a[0])
+    b = nexus.context(bed.hosts_a[1])
+    b.register_handler("h", lambda c, e, buf: None)
+    sp = a.startpoint_to(b.new_endpoint())
+
+    def sender():
+        yield from sp.rsr("h", Buffer().put_padding(500))
+
+    def receiver():
+        yield from b.wait(lambda: b.rsrs_dispatched == 1)
+
+    done = nexus.spawn(receiver())
+    nexus.spawn(sender())
+    nexus.run(until=done)
+    report = enquiry.transport_report(nexus)
+    assert report["mpl"]["messages_sent"] == 1
+    assert report["mpl"]["bytes_sent"] >= 500
+    assert report["tcp"]["messages_sent"] == 0

@@ -1,0 +1,138 @@
+"""Tests for the dedicated forwarding processor (Section 3.3)."""
+
+import pytest
+
+from repro.core.buffers import Buffer
+from repro.core.errors import NexusError
+from repro.core.forwarding import ForwardingService
+from repro.core.selection import RequireMethod
+from repro.testbeds import make_sp2
+
+
+@pytest.fixture
+def forwarded():
+    """Two partitions; partition A's TCP traffic routes via a forwarder."""
+    bed = make_sp2(nodes_a=3, nodes_b=1)
+    nexus = bed.nexus
+    fwd = nexus.context(bed.hosts_a[0], "fwd")
+    m1 = nexus.context(bed.hosts_a[1], "m1")
+    m2 = nexus.context(bed.hosts_a[2], "m2")
+    external = nexus.context(bed.hosts_b[0], "ext")
+    service = ForwardingService(nexus)
+    service.install(fwd, [fwd, m1, m2])
+    return bed, service, fwd, m1, m2, external
+
+
+class TestInstall:
+    def test_members_descriptors_rewritten(self, forwarded):
+        _bed, service, fwd, m1, m2, _ext = forwarded
+        for member in (m1, m2):
+            assert member.export_table().entry("tcp").param("via") == fwd.id
+        # The forwarder's own descriptor is untouched.
+        assert fwd.export_table().entry("tcp").param("via") is None
+
+    def test_members_stop_polling_tcp(self, forwarded):
+        _bed, _svc, fwd, m1, m2, _ext = forwarded
+        assert "tcp" not in m1.poll_manager.active_methods()
+        assert "tcp" not in m2.poll_manager.active_methods()
+        assert "tcp" in fwd.poll_manager.active_methods()
+
+    def test_double_install_rejected(self, forwarded):
+        bed, service, fwd, _m1, _m2, _ext = forwarded
+        with pytest.raises(NexusError):
+            service.install(fwd, [])
+
+    def test_member_without_tcp_rejected(self):
+        bed = make_sp2(nodes_a=2, nodes_b=0)
+        nexus = bed.nexus
+        fwd = nexus.context(bed.hosts_a[0])
+        plain = nexus.context(bed.hosts_a[1], methods=("local", "mpl"))
+        with pytest.raises(NexusError, match="descriptor"):
+            ForwardingService(nexus).install(fwd, [plain])
+
+
+class TestForwardPath:
+    def test_external_message_reaches_member_via_mpl(self, forwarded):
+        bed, service, fwd, m1, _m2, external = forwarded
+        nexus = bed.nexus
+        log = []
+        m1.register_handler("h", lambda c, e, buf: log.append(buf.get_str()))
+        sp = external.startpoint_to(m1.new_endpoint())
+
+        def sender():
+            yield from sp.rsr("h", Buffer().put_str("hello"))
+
+        def member():
+            yield from m1.wait(lambda: bool(log))
+            return nexus.now
+
+        done = nexus.spawn(member())
+        nexus.spawn(sender())
+        nexus.run(until=done)
+        assert log == ["hello"]
+        assert sp.current_methods() == ["tcp"]
+        assert service.messages_forwarded == 1
+        # The member never saw raw TCP traffic.
+        assert len(m1.inbox("tcp")) == 0
+        assert m1.poll_manager.stats.fires.get("tcp", 0) == 0
+
+    def test_forwarder_own_traffic_unaffected(self, forwarded):
+        bed, service, fwd, _m1, _m2, external = forwarded
+        nexus = bed.nexus
+        log = []
+        fwd.register_handler("h", lambda c, e, buf: log.append(1))
+        sp = external.startpoint_to(fwd.new_endpoint())
+
+        def sender():
+            yield from sp.rsr("h", Buffer())
+
+        def receiver():
+            yield from fwd.wait(lambda: bool(log))
+
+        done = nexus.spawn(receiver())
+        nexus.spawn(sender())
+        nexus.run(until=done)
+        assert log == [1]
+        assert service.messages_forwarded == 0  # direct, no extra hop
+
+    def test_forwarding_works_while_forwarder_computes(self, forwarded):
+        """The service loop must deliver even when the forwarder's own
+        application process is busy or finished (liveness)."""
+        bed, service, fwd, m1, _m2, external = forwarded
+        nexus = bed.nexus
+        log = []
+        m1.register_handler("h", lambda c, e, buf: log.append(nexus.now))
+        sp = external.startpoint_to(m1.new_endpoint(),
+                                    policy=RequireMethod("tcp"))
+
+        def sender():
+            yield from external.charge(0.05)
+            yield from sp.rsr("h", Buffer())
+
+        def member():
+            yield from m1.wait(lambda: bool(log))
+
+        # NOTE: no process ever runs on fwd.
+        done = nexus.spawn(member())
+        nexus.spawn(sender())
+        nexus.run(until=done)
+        assert log and service.messages_forwarded == 1
+
+    def test_forward_charges_overhead(self, forwarded):
+        bed, service, _fwd, m1, _m2, external = forwarded
+        assert service.forward_overhead > 0.0
+        nexus = bed.nexus
+        log = []
+        m1.register_handler("h", lambda c, e, buf: log.append(1))
+        sp = external.startpoint_to(m1.new_endpoint())
+
+        def sender():
+            yield from sp.rsr("h", Buffer().put_padding(1000))
+
+        def member():
+            yield from m1.wait(lambda: bool(log))
+
+        done = nexus.spawn(member())
+        nexus.spawn(sender())
+        nexus.run(until=done)
+        assert service.bytes_forwarded >= 1000

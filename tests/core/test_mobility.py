@@ -1,0 +1,116 @@
+"""Tests for startpoint mobility: serialisation, import, buffer carriage,
+and the lightweight variant."""
+
+import pytest
+
+from repro.core.buffers import Buffer
+from repro.core.errors import BindError
+from repro.testbeds import make_sp2
+
+
+@pytest.fixture
+def bed():
+    return make_sp2(nodes_a=2, nodes_b=1)
+
+
+class TestWireForm:
+    def test_unbound_cannot_serialise(self, bed):
+        a = bed.nexus.context(bed.hosts_a[0])
+        with pytest.raises(BindError):
+            a.new_startpoint().to_wire()
+
+    def test_wire_carries_all_links(self, bed):
+        nexus = bed.nexus
+        a = nexus.context(bed.hosts_a[0])
+        b = nexus.context(bed.hosts_a[1])
+        c = nexus.context(bed.hosts_b[0])
+        sp = (a.new_startpoint().bind(b.new_endpoint())
+              .bind(c.new_endpoint()))
+        wire = sp.to_wire()
+        assert len(wire.links) == 2
+        assert {link.context_id for link in wire.links} == {b.id, c.id}
+
+    def test_lightweight_smaller(self, bed):
+        nexus = bed.nexus
+        a = nexus.context(bed.hosts_a[0])
+        b = nexus.context(bed.hosts_a[1])
+        sp = a.startpoint_to(b.new_endpoint())
+        assert (sp.to_wire(lightweight=True).wire_size
+                < sp.to_wire().wire_size)
+
+
+class TestImport:
+    def test_import_mirrors_links(self, bed):
+        nexus = bed.nexus
+        a = nexus.context(bed.hosts_a[0])
+        b = nexus.context(bed.hosts_a[1])
+        c = nexus.context(bed.hosts_b[0])
+        endpoint = b.new_endpoint()
+        sp = a.startpoint_to(endpoint)
+        imported = c.import_startpoint(sp.to_wire())
+        assert imported.context is c
+        assert imported.links[0].endpoint_id == endpoint.id
+        assert imported.links[0].context_id == b.id
+        # Original's selection state does not travel.
+        assert imported.current_methods() == [None]
+
+    def test_import_lightweight_uses_default_table(self, bed):
+        nexus = bed.nexus
+        a = nexus.context(bed.hosts_a[0])
+        b = nexus.context(bed.hosts_a[1])
+        c = nexus.context(bed.hosts_b[0])
+        sp = a.startpoint_to(b.new_endpoint())
+        imported = c.import_startpoint(sp.to_wire(lightweight=True))
+        assert imported.links[0].table.methods == b.export_table().methods
+
+    def test_imported_copy_selects_independently(self, bed):
+        """The paper's core scenario: each holder of a copy selects the
+        method appropriate to *its* location."""
+        nexus = bed.nexus
+        a = nexus.context(bed.hosts_a[0])
+        b = nexus.context(bed.hosts_a[1])
+        c = nexus.context(bed.hosts_b[0])
+        sp = a.startpoint_to(b.new_endpoint())
+        at_c = c.import_startpoint(sp.to_wire())
+        at_a2 = a.import_startpoint(sp.to_wire())
+        assert sp.ensure_connected(sp.links[0]).method == "mpl"
+        assert at_c.ensure_connected(at_c.links[0]).method == "tcp"
+        assert at_a2.ensure_connected(at_a2.links[0]).method == "mpl"
+
+
+class TestBufferCarriage:
+    def test_startpoint_in_buffer_roundtrip(self, bed):
+        nexus = bed.nexus
+        a = nexus.context(bed.hosts_a[0])
+        b = nexus.context(bed.hosts_a[1])
+        c = nexus.context(bed.hosts_b[0])
+        sp = a.startpoint_to(b.new_endpoint())
+        buffer = Buffer().put_int(1).put_startpoint(sp).put_str("tail")
+        assert buffer.get_int() == 1
+        imported = buffer.get_startpoint(c)
+        assert imported.links[0].context_id == b.id
+        assert buffer.get_str() == "tail"
+
+    def test_buffer_size_includes_table(self, bed):
+        nexus = bed.nexus
+        a = nexus.context(bed.hosts_a[0])
+        b = nexus.context(bed.hosts_a[1])
+        sp = a.startpoint_to(b.new_endpoint())
+        heavy = Buffer().put_startpoint(sp).nbytes
+        light = Buffer().put_startpoint(sp, lightweight=True).nbytes
+        assert heavy - light >= 20  # "a few tens of bytes" of table
+
+    def test_global_name_property(self, bed):
+        """A startpoint bound to an endpoint with a local address acts as
+        a global pointer: any copy anywhere names the same object."""
+        nexus = bed.nexus
+        a = nexus.context(bed.hosts_a[0])
+        b = nexus.context(bed.hosts_a[1])
+        c = nexus.context(bed.hosts_b[0])
+        shared = {"object": "state"}
+        endpoint = b.new_endpoint(bound_object=shared)
+        sp = a.startpoint_to(endpoint)
+        imported = c.import_startpoint(sp.to_wire())
+        target = nexus._resolve_context(imported.links[0].context_id)
+        assert target.endpoints[imported.links[0].endpoint_id].bound_object \
+            is shared

@@ -1,0 +1,31 @@
+"""Fixtures and helpers for the mini-MPI tests."""
+
+import pytest
+
+from repro.mpi import MPIWorld
+from repro.testbeds import make_sp2
+
+
+def build_world(ranks_a=2, ranks_b=2, config=None):
+    bed = make_sp2(nodes_a=ranks_a, nodes_b=ranks_b)
+    contexts = [bed.nexus.context(h) for h in bed.hosts]
+    return bed, MPIWorld(bed.nexus, contexts, config=config)
+
+
+@pytest.fixture
+def world4():
+    """4 ranks: 2 in each partition (so MPI traffic mixes MPL and TCP)."""
+    return build_world(2, 2)
+
+
+@pytest.fixture
+def world6():
+    return build_world(4, 2)
+
+
+def run_spmd(bed, world, body, ranks=None):
+    """Run `body(proc)` on every rank to completion; return results by
+    rank order."""
+    handles = world.run_spmd(body, ranks=ranks)
+    bed.nexus.run(until=bed.nexus.sim.all_of(handles))
+    return [handle.value for handle in handles]

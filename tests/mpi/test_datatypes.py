@@ -1,0 +1,77 @@
+"""Tests for MPI payload packing (datatypes)."""
+
+import numpy as np
+import pytest
+
+from repro.core.buffers import Buffer
+from repro.mpi.datatypes import (
+    Padded,
+    pack_payload,
+    payload_nbytes,
+    unpack_payload,
+)
+from repro.mpi.errors import MpiError
+
+
+def roundtrip(value):
+    buffer = Buffer()
+    pack_payload(buffer, value)
+    return unpack_payload(buffer)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("value", [
+        None, 0, -17, 2 ** 40, 3.5, "text", b"\x00bytes", (1, 2.0, "x"),
+        (), ((1, 2), ("a", b"b")),
+    ])
+    def test_scalars_and_tuples(self, value):
+        assert roundtrip(value) == value
+
+    def test_numpy_array(self):
+        array = np.arange(12, dtype=np.float32).reshape(3, 4)
+        out = roundtrip(array)
+        assert np.array_equal(out, array)
+        assert out.dtype == array.dtype
+
+    def test_numpy_ints_and_floats_coerce(self):
+        assert roundtrip(np.int32(7)) == 7
+        assert roundtrip(np.float64(1.5)) == 1.5
+
+    def test_padded_returns_inner_value(self):
+        out = roundtrip(Padded((1, "x"), 5000))
+        assert out == (1, "x")
+
+    def test_nested_padded_in_tuple(self):
+        out = roundtrip((Padded(None, 100), 2))
+        assert out == (None, 2)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(MpiError, match="unsupported"):
+            roundtrip({"dict": 1})
+        with pytest.raises(MpiError):
+            payload_nbytes([1, 2])  # lists are not payloads
+
+
+class TestSizes:
+    def test_scalar_sizes(self):
+        assert payload_nbytes(None) == 0
+        assert payload_nbytes(5) == 8
+        assert payload_nbytes(1.0) == 8
+        assert payload_nbytes("ab") == 6
+        assert payload_nbytes(b"ab") == 6
+
+    def test_array_size(self):
+        assert payload_nbytes(np.zeros(8)) == 16 + 64
+
+    def test_padded_size_adds(self):
+        assert payload_nbytes(Padded(5, 1000)) == 1008
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(MpiError):
+            Padded(None, -1)
+
+    def test_packed_wire_size_at_least_payload(self):
+        buffer = Buffer()
+        value = Padded(np.zeros(100), 10_000)
+        pack_payload(buffer, value)
+        assert buffer.nbytes >= payload_nbytes(value)

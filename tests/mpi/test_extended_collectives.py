@@ -1,0 +1,162 @@
+"""Tests for the extended collectives: scan, reduce_scatter, comm_split."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.errors import MpiError
+
+from .conftest import build_world, run_spmd
+
+
+class TestScan:
+    def test_inclusive_prefix_sum(self, world4):
+        bed, world = world4
+
+        def body(proc):
+            result = yield from proc.scan(proc.rank + 1, "sum")
+            return result
+
+        # values 1,2,3,4 -> prefixes 1,3,6,10
+        assert run_spmd(bed, world, body) == [1, 3, 6, 10]
+
+    def test_exclusive_scan(self, world4):
+        bed, world = world4
+
+        def body(proc):
+            result = yield from proc.scan(proc.rank + 1, "sum",
+                                          exclusive=True)
+            return result
+
+        assert run_spmd(bed, world, body) == [None, 1, 3, 6]
+
+    def test_scan_non_commutative_order(self, world4):
+        bed, world = world4
+
+        def body(proc):
+            result = yield from proc.scan(str(proc.rank),
+                                          lambda a, b: a + b)
+            return result
+
+        assert run_spmd(bed, world, body) == ["0", "01", "012", "0123"]
+
+    def test_scan_arrays(self, world4):
+        bed, world = world4
+
+        def body(proc):
+            result = yield from proc.scan(np.full(3, proc.rank), "sum")
+            return result.tolist()
+
+        results = run_spmd(bed, world, body)
+        assert results == [[0, 0, 0], [1, 1, 1], [3, 3, 3], [6, 6, 6]]
+
+    def test_single_rank_scan(self):
+        bed, world = build_world(1, 0)
+
+        def body(proc):
+            result = yield from proc.scan(42, "sum")
+            return result
+
+        assert run_spmd(bed, world, body) == [42]
+
+
+class TestReduceScatter:
+    def test_row_sums_distributed(self, world4):
+        bed, world = world4
+
+        def body(proc):
+            # rank r contributes vector [r*10+i for i in range(4)]
+            values = [proc.rank * 10 + i for i in range(4)]
+            result = yield from proc.reduce_scatter(values, "sum")
+            return result
+
+        results = run_spmd(bed, world, body)
+        # column i sum: sum_r (10r + i) = 60 + 4i
+        assert results == [60, 64, 68, 72]
+
+    def test_wrong_arity_rejected(self, world4):
+        bed, world = world4
+
+        def body(proc):
+            yield from proc.reduce_scatter([1, 2], "sum")
+
+        handles = world.run_spmd(body, ranks=[0])
+        with pytest.raises(MpiError, match="reduce_scatter"):
+            bed.nexus.run(until=handles[0])
+
+    def test_max_op(self, world4):
+        bed, world = world4
+
+        def body(proc):
+            values = [(proc.rank + dest) % 4 for dest in range(4)]
+            result = yield from proc.reduce_scatter(values, "max")
+            return result
+
+        results = run_spmd(bed, world, body)
+        assert results == [3, 3, 3, 3]
+
+
+class TestCommSplit:
+    def test_split_by_parity(self):
+        bed, world = build_world(3, 3)
+
+        def body(proc):
+            comm = yield from proc.comm_split(color=proc.rank % 2,
+                                              key=proc.rank)
+            total = yield from proc.allreduce(proc.rank, "sum", comm=comm)
+            return comm.size, total
+
+        results = run_spmd(bed, world, body)
+        assert results == [(3, 6), (3, 9), (3, 6), (3, 9), (3, 6), (3, 9)]
+
+    def test_key_controls_rank_order(self, world4):
+        bed, world = world4
+
+        def body(proc):
+            # reverse the ranks with descending keys
+            comm = yield from proc.comm_split(color=0, key=-proc.rank)
+            return comm.rank_of_world(proc.rank)
+
+        results = run_spmd(bed, world, body)
+        assert results == [3, 2, 1, 0]
+
+    def test_negative_color_returns_none(self, world4):
+        bed, world = world4
+
+        def body(proc):
+            color = -1 if proc.rank == 0 else 0
+            comm = yield from proc.comm_split(color=color, key=0)
+            if comm is None:
+                return None
+            return comm.size
+
+        results = run_spmd(bed, world, body)
+        assert results == [None, 3, 3, 3]
+
+    def test_members_share_context_ids(self, world4):
+        bed, world = world4
+        seen = []
+
+        def body(proc):
+            comm = yield from proc.comm_split(color=0, key=0)
+            seen.append(comm.p2p_context)
+            # traffic on the split comm must actually match up
+            n = comm.size
+            my = comm.rank_of_world(proc.rank)
+            data, _ = yield from proc.sendrecv(
+                my, (my + 1) % n, 1, (my - 1) % n, 1, comm=comm)
+            return data
+
+        results = run_spmd(bed, world, body)
+        assert len(set(seen)) == 1
+        assert sorted(results) == [0, 1, 2, 3]
+
+    def test_two_consecutive_splits_get_fresh_comms(self, world4):
+        bed, world = world4
+
+        def body(proc):
+            first = yield from proc.comm_split(color=0, key=0)
+            yield from proc.barrier()
+            second = yield from proc.comm_split(color=0, key=0)
+            return first.id != second.id
+
+        assert all(run_spmd(bed, world, body))

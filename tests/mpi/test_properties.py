@@ -1,0 +1,152 @@
+"""Property-based tests for the MPI layer (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buffers import Buffer
+from repro.mpi.datatypes import Padded, pack_payload, unpack_payload
+from repro.mpi.matching import MatchingQueues, MpiMessage
+from repro.mpi.status import ANY_SOURCE, ANY_TAG
+
+# -- payload roundtrip over arbitrary nested structures -------------------------
+
+payloads = st.recursive(
+    st.one_of(
+        st.none(),
+        st.integers(min_value=-(2 ** 60), max_value=2 ** 60),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=30),
+        st.binary(max_size=30),
+    ),
+    lambda children: st.one_of(
+        st.tuples(children),
+        st.tuples(children, children),
+        st.tuples(children, children, children),
+        st.builds(Padded, children,
+                  st.integers(min_value=0, max_value=10_000)),
+    ),
+    max_leaves=10,
+)
+
+
+def strip_padding(value):
+    """The expected unpack result: Padded wrappers dissolve."""
+    if isinstance(value, Padded):
+        return strip_padding(value.value)
+    if isinstance(value, tuple):
+        return tuple(strip_padding(v) for v in value)
+    return value
+
+
+@given(payloads)
+@settings(max_examples=150, deadline=None)
+def test_payload_roundtrip(value):
+    buffer = Buffer()
+    pack_payload(buffer, value)
+    assert unpack_payload(buffer) == strip_padding(value)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1,
+                max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_array_payload_roundtrip(values):
+    array = np.array(values, dtype=np.int64)
+    buffer = Buffer()
+    pack_payload(buffer, array)
+    assert np.array_equal(unpack_payload(buffer), array)
+
+
+# -- matching-queue invariants ------------------------------------------------------
+
+deliveries = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),    # source
+              st.integers(min_value=0, max_value=3)),   # tag
+    min_size=0, max_size=25,
+)
+receives = st.lists(
+    st.tuples(st.sampled_from([ANY_SOURCE, 0, 1, 2, 3]),
+              st.sampled_from([ANY_TAG, 0, 1, 2, 3])),
+    min_size=0, max_size=25,
+)
+
+
+@given(deliveries, receives, st.randoms(use_true_random=False))
+@settings(max_examples=100, deadline=None)
+def test_matching_conserves_messages(sends, recvs, rng):
+    """However sends and receives interleave: every message ends up in
+    exactly one place (matched to one receive, or unexpected), and every
+    receive is either complete or still posted."""
+    queues = MatchingQueues()
+    posted = []
+    send_queue = list(sends)
+    recv_queue = list(recvs)
+    sequence = 0
+    while send_queue or recv_queue:
+        pick_send = send_queue and (not recv_queue or rng.random() < 0.5)
+        if pick_send:
+            source, tag = send_queue.pop(0)
+            sequence += 1
+            queues.deliver(MpiMessage(
+                context_id=0, source=source, tag=tag,
+                payload=sequence, nbytes=8,
+                sent_at=float(sequence), arrived_at=float(sequence)))
+        else:
+            source, tag = recv_queue.pop(0)
+            posted.append(queues.post(0, source, tag))
+
+    matched = [p for p in posted if p.complete]
+    unmatched = [p for p in posted if not p.complete]
+    # conservation: every sent message is matched or unexpected
+    assert len(matched) + len(queues.unexpected) == len(sends)
+    # every incomplete posted receive is still in the queue
+    assert len(queues.posted) == len(unmatched)
+    # no message matched twice
+    payloads_seen = [p.message.payload for p in matched]
+    assert len(set(payloads_seen)) == len(payloads_seen)
+    # matched pairs actually satisfy the wildcard rules
+    for p in matched:
+        assert p.source in (ANY_SOURCE, p.message.source)
+        assert p.tag in (ANY_TAG, p.message.tag)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2), min_size=1,
+                max_size=15))
+@settings(max_examples=50, deadline=None)
+def test_matching_fifo_per_source(tags_from_one_source):
+    """Messages from one source with one tag match receives in send
+    order (MPI non-overtaking, single pair)."""
+    queues = MatchingQueues()
+    for index, _tag in enumerate(tags_from_one_source):
+        queues.deliver(MpiMessage(context_id=0, source=0, tag=7,
+                                  payload=index, nbytes=8,
+                                  sent_at=float(index),
+                                  arrived_at=float(index)))
+    results = []
+    for _ in tags_from_one_source:
+        posted = queues.post(0, 0, 7)
+        results.append(posted.message.payload)
+    assert results == list(range(len(tags_from_one_source)))
+
+
+# -- end-to-end collective correctness vs numpy reference ------------------------------
+
+@given(st.integers(min_value=1, max_value=5),
+       st.lists(st.integers(min_value=-100, max_value=100), min_size=5,
+                max_size=5))
+@settings(max_examples=15, deadline=None)
+def test_allreduce_matches_numpy(nranks, values):
+    from .conftest import build_world, run_spmd
+
+    values = values[:nranks]
+    while len(values) < nranks:
+        values.append(0)
+    ranks_a = (nranks + 1) // 2
+    bed, world = build_world(ranks_a, nranks - ranks_a)
+
+    def body(proc):
+        result = yield from proc.allreduce(values[proc.rank], "sum")
+        return result
+
+    results = run_spmd(bed, world, body)
+    assert results == [int(np.sum(values))] * nranks

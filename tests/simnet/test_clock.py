@@ -1,0 +1,34 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.simnet.clock import VirtualClock
+from repro.simnet.errors import ClockError
+
+
+def test_starts_at_zero_by_default():
+    assert VirtualClock().now == 0.0
+
+
+def test_custom_start():
+    assert VirtualClock(5.0).now == 5.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ClockError):
+        VirtualClock(-1.0)
+
+
+def test_advance_forward():
+    clock = VirtualClock()
+    clock.advance_to(2.5)
+    assert clock.now == 2.5
+    clock.advance_to(2.5)  # zero-length advance is legal
+    assert clock.now == 2.5
+
+
+def test_advance_backwards_rejected():
+    clock = VirtualClock(3.0)
+    with pytest.raises(ClockError):
+        clock.advance_to(2.999)
+    assert clock.now == 3.0  # unchanged after the failed move

@@ -1,0 +1,174 @@
+"""Tests for events, timeouts, and condition events."""
+
+import pytest
+
+from repro.simnet import Simulator
+from repro.simnet.errors import EventError, ScheduleError
+from repro.simnet.events import ConditionValue
+
+
+def test_event_lifecycle(sim):
+    event = sim.event("e")
+    assert not event.triggered and not event.processed
+    event.succeed(42)
+    assert event.triggered and not event.processed
+    sim.run()
+    assert event.processed and event.ok and event.value == 42
+
+
+def test_event_double_trigger_rejected(sim):
+    event = sim.event()
+    event.succeed()
+    with pytest.raises(EventError):
+        event.succeed()
+    with pytest.raises(EventError):
+        event.fail(RuntimeError("x"))
+    sim.run()
+
+
+def test_value_before_trigger_rejected(sim):
+    event = sim.event()
+    with pytest.raises(EventError):
+        _ = event.value
+    with pytest.raises(EventError):
+        _ = event.ok
+    event.succeed(1)
+    sim.run()
+
+
+def test_fail_requires_exception(sim):
+    event = sim.event()
+    with pytest.raises(EventError):
+        event.fail("not an exception")  # type: ignore[arg-type]
+    event.succeed()
+    sim.run()
+
+
+def test_unhandled_failure_surfaces(sim):
+    event = sim.event()
+    event.fail(ValueError("boom"))
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()
+
+
+def test_defused_failure_is_silent(sim):
+    event = sim.event()
+    event.fail(ValueError("boom"))
+    event.defuse()
+    sim.run()  # no raise
+
+
+def test_timeout_fires_at_delay(sim):
+    t = sim.timeout(1.5, value="done")
+    sim.run()
+    assert sim.now == 1.5
+    assert t.value == "done"
+
+
+def test_negative_timeout_rejected(sim):
+    with pytest.raises(ScheduleError):
+        sim.timeout(-0.1)
+
+
+def test_all_of_waits_for_all(sim):
+    t1 = sim.timeout(1.0, value="a")
+    t2 = sim.timeout(2.0, value="b")
+    results = {}
+
+    def waiter():
+        value = yield sim.all_of([t1, t2])
+        results["time"] = sim.now
+        results["values"] = value.values()
+
+    sim.process(waiter())
+    sim.run()
+    assert results["time"] == 2.0
+    assert results["values"] == ["a", "b"]
+
+
+def test_any_of_fires_on_first(sim):
+    t1 = sim.timeout(1.0, value="fast")
+    t2 = sim.timeout(5.0, value="slow")
+    results = {}
+
+    def waiter():
+        value = yield sim.any_of([t1, t2])
+        results["time"] = sim.now
+        results["got"] = t1 in value
+
+    sim.process(waiter())
+    sim.run(until=3.0)
+    assert results["time"] == 1.0
+    assert results["got"] is True
+
+
+def test_condition_operators(sim):
+    t1 = sim.timeout(1.0)
+    t2 = sim.timeout(2.0)
+    seen = []
+
+    def both():
+        yield t1 & t2
+        seen.append(("and", sim.now))
+
+    def either():
+        yield sim.timeout(0.5) | sim.timeout(9.0)
+        seen.append(("or", sim.now))
+
+    sim.process(both())
+    sim.process(either())
+    sim.run(until=5.0)
+    assert ("or", 0.5) in seen
+    assert ("and", 2.0) in seen
+
+
+def test_empty_all_of_triggers_immediately(sim):
+    done = {}
+
+    def waiter():
+        value = yield sim.all_of([])
+        done["v"] = value
+
+    sim.process(waiter())
+    sim.run()
+    assert isinstance(done["v"], ConditionValue)
+    assert len(done["v"]) == 0
+
+
+def test_condition_propagates_child_failure(sim):
+    bad = sim.event()
+    good = sim.timeout(1.0)
+    caught = {}
+
+    def waiter():
+        try:
+            yield sim.all_of([good, bad])
+        except RuntimeError as exc:
+            caught["exc"] = exc
+
+    sim.process(waiter())
+    bad.fail(RuntimeError("child died"))
+    sim.run()
+    assert "child died" in str(caught["exc"])
+
+
+def test_condition_rejects_cross_simulator_events(sim):
+    other = Simulator()
+    with pytest.raises(EventError):
+        sim.all_of([sim.event(), other.event()])
+
+
+def test_condition_value_mapping(sim):
+    t1 = sim.timeout(1.0, value=10)
+    t2 = sim.timeout(1.0, value=20)
+    results = {}
+
+    def waiter():
+        value = yield sim.all_of([t1, t2])
+        results["v1"] = value[t1]
+        results["contains"] = t2 in value
+        results["len"] = len(value)
+
+    sim.process(waiter())
+    sim.run()
+    assert results == {"v1": 10, "contains": True, "len": 2}

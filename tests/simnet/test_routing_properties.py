@@ -1,0 +1,107 @@
+"""Property-based validation of WAN routing against networkx.
+
+Our engine implements Dijkstra by hand (latency-weighted shortest path
+over machines); networkx provides an independent reference.  Random
+topologies are generated with hypothesis and both implementations must
+agree on reachability and total path latency.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet import LinkProfile, Network, Simulator
+
+edge_lists = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=7),
+              st.integers(min_value=0, max_value=7),
+              st.floats(min_value=1e-4, max_value=0.5)),
+    min_size=0, max_size=20,
+)
+
+
+def build_both(n_machines, edges):
+    """Build our Network and the equivalent networkx graph."""
+    sim = Simulator()
+    network = Network(sim)
+    machines = [network.new_machine(f"m{i}") for i in range(n_machines)]
+    graph = nx.MultiGraph()
+    graph.add_nodes_from(range(n_machines))
+    for index, (a, b, latency) in enumerate(edges):
+        a %= n_machines
+        b %= n_machines
+        if a == b:
+            continue
+        profile = LinkProfile(f"l{index}", latency=latency,
+                              bandwidth=1e6 + index)
+        network.connect(machines[a], machines[b], profile)
+        graph.add_edge(a, b, weight=latency, bandwidth=profile.bandwidth)
+    return network, machines, graph
+
+
+@given(st.integers(min_value=2, max_value=8), edge_lists)
+@settings(max_examples=80, deadline=None)
+def test_reachability_matches_networkx(n, edges):
+    network, machines, graph = build_both(n, edges)
+    for src in range(n):
+        for dst in range(n):
+            if src == dst:
+                continue
+            ours = network.wan_route(machines[src], machines[dst])
+            theirs = nx.has_path(graph, src, dst)
+            assert (ours is not None) == theirs
+
+
+@given(st.integers(min_value=2, max_value=8), edge_lists)
+@settings(max_examples=80, deadline=None)
+def test_path_latency_matches_networkx_shortest(n, edges):
+    network, machines, graph = build_both(n, edges)
+    for src in range(n):
+        for dst in range(src + 1, n):
+            route = network.wan_route(machines[src], machines[dst])
+            if route is None:
+                continue
+            ours = sum(link.profile.latency for link in route)
+            theirs = nx.shortest_path_length(graph, src, dst,
+                                             weight="weight")
+            assert ours == pytest.approx(theirs)
+
+
+@given(st.integers(min_value=2, max_value=8), edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_collapsed_profile_invariants(n, edges):
+    """The collapsed path profile's latency equals the route sum and its
+    bandwidth equals the route bottleneck."""
+    network, machines, _graph = build_both(n, edges)
+    for src in range(n):
+        for dst in range(n):
+            if src == dst:
+                continue
+            route = network.wan_route(machines[src], machines[dst])
+            if not route:
+                continue
+            profile = network.wan_path_profile(machines[src], machines[dst])
+            assert profile.latency == pytest.approx(
+                sum(link.profile.latency for link in route))
+            assert profile.bandwidth == min(link.profile.bandwidth
+                                            for link in route)
+
+
+@given(st.integers(min_value=2, max_value=6), edge_lists)
+@settings(max_examples=40, deadline=None)
+def test_route_is_a_valid_walk(n, edges):
+    """Every returned route must be a connected walk from src to dst."""
+    network, machines, _graph = build_both(n, edges)
+    for src in range(n):
+        for dst in range(n):
+            if src == dst:
+                continue
+            route = network.wan_route(machines[src], machines[dst])
+            if route is None:
+                continue
+            cursor = machines[src]
+            for link in route:
+                assert cursor in (link.a, link.b)
+                cursor = link.other(cursor)
+            assert cursor is machines[dst]

@@ -1,0 +1,80 @@
+"""Tests for the tracer and deterministic random streams."""
+
+from repro.simnet import RandomStreams, Tracer
+
+
+class TestTracer:
+    def test_counters(self):
+        tracer = Tracer()
+        tracer.incr("x")
+        tracer.incr("x", 4)
+        assert tracer.count("x") == 5
+        assert tracer.count("missing") == 0
+
+    def test_durations(self):
+        tracer = Tracer()
+        tracer.add_time("poll", 0.5)
+        tracer.add_time("poll", 0.25)
+        assert tracer.time("poll") == 0.75
+        assert tracer.time("missing") == 0.0
+
+    def test_log_disabled_by_default(self):
+        tracer = Tracer()
+        tracer.record(1.0, "event", detail="x")
+        assert tracer.log == ()
+
+    def test_log_bounded(self):
+        tracer = Tracer(log_capacity=3)
+        for index in range(10):
+            tracer.record(float(index), "tick", index=index)
+        assert len(tracer.log) == 3
+        assert tracer.log[0].time == 7.0
+
+    def test_records_by_category(self):
+        tracer = Tracer(log_capacity=10)
+        tracer.record(0.0, "a")
+        tracer.record(1.0, "b")
+        tracer.record(2.0, "a")
+        assert [r.time for r in tracer.records("a")] == [0.0, 2.0]
+
+    def test_reset_and_snapshot(self):
+        tracer = Tracer(log_capacity=2)
+        tracer.incr("x")
+        tracer.add_time("y", 1.0)
+        snap = tracer.snapshot()
+        assert snap["counters"] == {"x": 1}
+        assert snap["durations"] == {"y": 1.0}
+        tracer.reset()
+        assert tracer.count("x") == 0
+        assert tracer.time("y") == 0.0
+
+
+class TestRandomStreams:
+    def test_same_name_same_stream_object(self):
+        streams = RandomStreams(0)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_deterministic_across_instances(self):
+        a = RandomStreams(42).stream("loss").random(5)
+        b = RandomStreams(42).stream("loss").random(5)
+        assert (a == b).all()
+
+    def test_streams_are_independent(self):
+        streams = RandomStreams(42)
+        a = streams.stream("a").random(5)
+        b = streams.stream("b").random(5)
+        assert not (a == b).all()
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        s1 = RandomStreams(7)
+        first = s1.stream("main").random(3)
+
+        s2 = RandomStreams(7)
+        s2.stream("other")          # extra consumer created first
+        second = s2.stream("main").random(3)
+        assert (first == second).all()
+
+    def test_seed_changes_draws(self):
+        a = RandomStreams(1).stream("x").random(4)
+        b = RandomStreams(2).stream("x").random(4)
+        assert not (a == b).all()

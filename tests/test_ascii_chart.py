@@ -1,0 +1,73 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.util.ascii_chart import render_chart
+from repro.util.records import Series
+
+
+def series(name, points):
+    s = Series(name)
+    for x, y in points:
+        s.add(x, y)
+    return s
+
+
+class TestRenderChart:
+    def test_basic_layout(self):
+        chart = render_chart(
+            [series("up", [(0, 0.0), (5, 5.0), (10, 10.0)])],
+            title="test chart", width=30, height=8)
+        lines = chart.splitlines()
+        assert lines[0] == "test chart"
+        assert "up" in lines[-1]           # legend
+        assert any("*" in line for line in lines)
+        assert "10" in chart and "0" in chart  # y labels
+
+    def test_two_series_distinct_glyphs(self):
+        chart = render_chart([
+            series("a", [(0, 1.0), (10, 2.0)]),
+            series("b", [(0, 2.0), (10, 1.0)]),
+        ], width=20, height=6)
+        assert "*" in chart and "o" in chart
+        assert "* a" in chart and "o b" in chart
+
+    def test_extremes_hit_chart_edges(self):
+        chart = render_chart(
+            [series("s", [(0, 0.0), (10, 100.0)])], width=20, height=6)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        assert "*" in rows[0]    # max value on the top row
+        assert "*" in rows[-1]   # min value on the bottom row
+
+    def test_log_axes(self):
+        chart = render_chart(
+            [series("s", [(1, 10.0), (10, 100.0), (100, 1000.0)])],
+            width=30, height=8, log_x=True, log_y=True)
+        assert "(log)" in chart
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            render_chart([series("s", [(0, 1.0), (2, 2.0)])], log_x=True)
+        with pytest.raises(ValueError):
+            render_chart([series("s", [(1, 0.0), (2, 2.0)])], log_y=True)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart([])
+        with pytest.raises(ValueError):
+            render_chart([Series("empty")])
+
+    def test_constant_series(self):
+        chart = render_chart([series("flat", [(0, 5.0), (10, 5.0)])],
+                             width=20, height=5)
+        assert "*" in chart  # degenerate y-range must not crash
+
+    def test_figure6_shape_visible(self):
+        """Smoke: the real Figure 6 data renders with both series."""
+        mpl = series("mpl", [(1, 328.4), (5, 108.4), (20, 119.4),
+                             (100, 114.0), (500, 109.5)])
+        tcp = series("tcp", [(1, 2478.5), (5, 2710.0), (20, 2809.4),
+                             (100, 4146.8), (500, 8760.0)])
+        chart = render_chart([mpl, tcp], title="fig6", log_x=True,
+                             width=60, height=14)
+        assert chart.count("\n") >= 14

@@ -1,0 +1,153 @@
+"""Tests for the p4/PVM baseline systems."""
+
+import pytest
+
+from repro.baselines import P4System, PvmSystem, run_mixed_workload
+from repro.testbeds import make_sp2
+
+
+@pytest.fixture
+def bed():
+    return make_sp2(nodes_a=2, nodes_b=2)
+
+
+def build_p4(bed):
+    contexts = [bed.nexus.context(h, f"p{i}")
+                for i, h in enumerate(bed.hosts)]
+    return P4System(bed.nexus, contexts)
+
+
+def build_pvm(bed):
+    contexts = [bed.nexus.context(h, f"p{i}")
+                for i, h in enumerate(bed.hosts)]
+    return PvmSystem.build(bed.nexus, contexts)
+
+
+class TestP4:
+    def test_hard_coded_method_choice(self, bed):
+        system = build_p4(bed)
+        p0, p1, p2 = (system.process(i).context for i in range(3))
+        assert system._choose_method(p0, p1) == "mpl"   # same partition
+        assert system._choose_method(p0, p2) == "tcp"   # cross partition
+
+    def test_send_recv_local(self, bed):
+        system = build_p4(bed)
+        nexus = bed.nexus
+
+        def sender():
+            yield from system.process(0).send(1, tag=7, nbytes=100)
+
+        def receiver():
+            message = yield from system.process(1).recv(tag=7)
+            return message
+
+        done = nexus.spawn(receiver())
+        nexus.spawn(sender())
+        message = nexus.run(until=done)
+        assert message.source == 0 and message.tag == 7
+        assert message.nbytes == 100
+        assert nexus.transports.get("mpl").messages_sent == 1
+
+    def test_send_recv_external_uses_tcp(self, bed):
+        system = build_p4(bed)
+        nexus = bed.nexus
+
+        def sender():
+            yield from system.process(0).send(2, tag=1, nbytes=50)
+
+        def receiver():
+            message = yield from system.process(2).recv(tag=1)
+            return message
+
+        done = nexus.spawn(receiver())
+        nexus.spawn(sender())
+        message = nexus.run(until=done)
+        assert message.source == 0
+        assert nexus.transports.get("tcp").messages_sent == 1
+
+    def test_tag_matching_fifo(self, bed):
+        system = build_p4(bed)
+        nexus = bed.nexus
+
+        def sender():
+            proc = system.process(0)
+            yield from proc.send(1, tag=5, nbytes=1)
+            yield from proc.send(1, tag=6, nbytes=2)
+            yield from proc.send(1, tag=5, nbytes=3)
+
+        def receiver():
+            proc = system.process(1)
+            first = yield from proc.recv(tag=6)
+            second = yield from proc.recv(tag=5)
+            third = yield from proc.recv()
+            return [first.nbytes, second.nbytes, third.nbytes]
+
+        done = nexus.spawn(receiver())
+        nexus.spawn(sender())
+        assert nexus.run(until=done) == [2, 1, 3]
+
+
+class TestPvm:
+    def test_daemons_one_per_partition(self, bed):
+        system = build_pvm(bed)
+        assert len(system.daemons) == 2
+
+    def test_external_traffic_relayed_twice(self, bed):
+        system = build_pvm(bed)
+        nexus = bed.nexus
+
+        def sender():
+            yield from system.process(0).send(2, tag=1, nbytes=64)
+
+        def receiver():
+            message = yield from system.process(2).recv(tag=1)
+            return message
+
+        done = nexus.spawn(receiver())
+        nexus.spawn(sender())
+        message = nexus.run(until=done)
+        assert message.source == 0
+        # task -> local pvmd (mpl) -> remote pvmd (tcp) -> task (mpl)
+        assert system.messages_relayed == 2
+        assert nexus.transports.get("tcp").messages_sent == 1
+
+    def test_internal_traffic_not_relayed(self, bed):
+        system = build_pvm(bed)
+        nexus = bed.nexus
+
+        def sender():
+            yield from system.process(0).send(1, tag=1, nbytes=64)
+
+        def receiver():
+            message = yield from system.process(1).recv(tag=1)
+            return message
+
+        done = nexus.spawn(receiver())
+        nexus.spawn(sender())
+        nexus.run(until=done)
+        assert system.messages_relayed == 0
+
+
+class TestWorkload:
+    def test_all_systems_complete(self):
+        for system in ("p4", "pvm", "nexus"):
+            result = run_mixed_workload(system, rounds=8)
+            assert result.total_time > 0
+            assert result.system == system
+
+    def test_nexus_untuned_matches_p4(self):
+        p4 = run_mixed_workload("p4", rounds=15)
+        nexus = run_mixed_workload("nexus", rounds=15, skip_poll=1)
+        assert nexus.time_per_round == pytest.approx(p4.time_per_round,
+                                                     rel=0.05)
+
+    def test_tuned_nexus_beats_p4_and_pvm_is_slowest(self):
+        p4 = run_mixed_workload("p4", rounds=15)
+        pvm = run_mixed_workload("pvm", rounds=15)
+        tuned = run_mixed_workload("nexus", rounds=15, skip_poll=20)
+        assert tuned.time_per_round < p4.time_per_round
+        assert pvm.time_per_round > p4.time_per_round
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            run_mixed_workload("linda")

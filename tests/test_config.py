@@ -1,0 +1,132 @@
+"""Tests for declarative world configuration (§6's configuration data)."""
+
+import pytest
+
+from repro.config import ConfigError, build_world, describe_world
+from repro.core.buffers import Buffer
+
+WORLD = {
+    "transports": ["local", "mpl", "aal5", "tcp"],
+    "machines": {
+        "sp2": {
+            "hosts": 4,
+            "switch": {"tcp": {"latency_ms": 2.0, "bandwidth_mbps": 8}},
+            "partitions": {"A": [0, 1], "B": [2, 3]},
+            "attributes": {"arch": "power1", "site": "anl"},
+        },
+        "cave": {
+            "hosts": 1,
+            "attributes": {"arch": "sgi", "site": "evl", "atm": True},
+            "host_attributes": {"0": {"display": True}},
+        },
+    },
+    "links": [
+        {"a": "sp2", "b": "cave", "latency_ms": 10.0,
+         "bandwidth_mbps": 16, "transports": ["aal5", "tcp"]},
+    ],
+}
+
+
+class TestBuildWorld:
+    def test_machines_hosts_partitions(self):
+        nexus = build_world(WORLD)
+        machines = {m.name: m for m in nexus.network.machines}
+        assert set(machines) == {"sp2", "cave"}
+        assert len(machines["sp2"].hosts) == 4
+        sessions = {p.name: p.session for p in machines["sp2"].partitions}
+        assert set(sessions) == {"A", "B"}
+        assert machines["sp2"].hosts[0].partition.name == "A"
+        assert machines["sp2"].hosts[3].partition.name == "B"
+
+    def test_attributes_merged(self):
+        nexus = build_world(WORLD)
+        cave = next(m for m in nexus.network.machines if m.name == "cave")
+        host = cave.hosts[0]
+        assert host.attributes["arch"] == "sgi"
+        assert host.attributes["display"] is True
+
+    def test_switch_and_wan_profiles(self):
+        nexus = build_world(WORLD)
+        machines = {m.name: m for m in nexus.network.machines}
+        switch = machines["sp2"].switch_profile("tcp")
+        assert switch.latency == pytest.approx(2e-3)
+        profile = nexus.network.effective_profile(
+            "aal5", machines["sp2"].hosts[0], machines["cave"].hosts[0])
+        assert profile.bandwidth == pytest.approx(16 * 1024 * 1024)
+
+    def test_selection_works_on_built_world(self):
+        nexus = build_world(WORLD)
+        machines = {m.name: m for m in nexus.network.machines}
+        a = nexus.context(machines["sp2"].hosts[0])
+        b = nexus.context(machines["sp2"].hosts[1])   # same partition
+        c = nexus.context(machines["sp2"].hosts[2])   # other partition
+        sp_near = a.startpoint_to(b.new_endpoint())
+        sp_far = a.startpoint_to(c.new_endpoint())
+        assert sp_near.ensure_connected(sp_near.links[0]).method == "mpl"
+        assert sp_far.ensure_connected(sp_far.links[0]).method == "tcp"
+
+    def test_end_to_end_message(self):
+        nexus = build_world(WORLD)
+        machines = {m.name: m for m in nexus.network.machines}
+        a = nexus.context(machines["sp2"].hosts[0])
+        b = nexus.context(machines["cave"].hosts[0],
+                          methods=("local", "aal5", "tcp"))
+        log = []
+        b.register_handler("h", lambda c, e, buf: log.append(buf.get_str()))
+        sp = a.startpoint_to(b.new_endpoint())
+
+        def sender():
+            yield from sp.rsr("h", Buffer().put_str("configured"))
+
+        def receiver():
+            yield from b.wait(lambda: bool(log))
+
+        done = nexus.spawn(receiver())
+        nexus.spawn(sender())
+        nexus.run(until=done)
+        assert log == ["configured"]
+
+
+class TestValidation:
+    def test_no_machines(self):
+        with pytest.raises(ConfigError, match="no machines"):
+            build_world({})
+
+    def test_bad_partition_index(self):
+        bad = {"machines": {"m": {"hosts": 2,
+                                  "partitions": {"A": [0, 5]}}}}
+        with pytest.raises(ConfigError, match="out of range"):
+            build_world(bad)
+
+    def test_unknown_link_machine(self):
+        bad = {"machines": {"m": {"hosts": 1}},
+               "links": [{"a": "m", "b": "ghost", "latency_ms": 1,
+                          "bandwidth_mbps": 1}]}
+        with pytest.raises(ConfigError, match="unknown machine"):
+            build_world(bad)
+
+    def test_missing_link_fields(self):
+        bad = {"machines": {"m": {"hosts": 1}, "n": {"hosts": 1}},
+               "links": [{"a": "m", "b": "n"}]}
+        with pytest.raises(ConfigError):
+            build_world(bad)
+
+    def test_zero_hosts(self):
+        with pytest.raises(ConfigError, match="at least one host"):
+            build_world({"machines": {"m": {"hosts": 0}}})
+
+
+class TestDiscovery:
+    def test_describe_round_trip(self):
+        nexus = build_world(WORLD)
+        described = describe_world(nexus)
+        rebuilt = build_world(described)
+        again = describe_world(rebuilt)
+        assert described == again  # fixed point
+
+    def test_describe_preserves_key_facts(self):
+        description = describe_world(build_world(WORLD))
+        assert description["machines"]["sp2"]["hosts"] == 4
+        assert description["machines"]["sp2"]["partitions"]["A"] == [0, 1]
+        assert description["links"][0]["transports"] == ["aal5", "tcp"]
+        assert description["transports"] == ["local", "mpl", "aal5", "tcp"]

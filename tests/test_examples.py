@@ -1,0 +1,38 @@
+"""Every example script must run to completion (they are deliverables).
+
+Executed in-process via runpy (same interpreter, fresh ``__main__``),
+with stdout captured and spot-checked for each scenario's headline.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: script name -> a fragment its output must contain
+EXPECTED_OUTPUT = {
+    "quickstart.py": "selected methods",
+    "method_selection.py": "selected ['mpl']",
+    "coupled_climate.py": "identical across all configurations",
+    "instrument_stream.py": "failover at",
+    "collaborative_multicast.py": "ratio 100%",
+    "satellite_pipeline.py": "mean pipeline latency",
+    "fortran_m_pipeline.py": "merged stream",
+    "protocol_stacks.py": "lzw+tcp",
+}
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(EXPECTED_OUTPUT), (
+        "examples/ and EXPECTED_OUTPUT disagree — add the new example here")
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert EXPECTED_OUTPUT[script] in output, (
+        f"{script} ran but its expected output fragment is missing")

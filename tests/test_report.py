@@ -1,0 +1,65 @@
+"""Tests for the runtime diagnostics report."""
+
+import pytest
+
+from repro.core.buffers import Buffer
+from repro.testbeds import make_sp2
+from repro.util.report import runtime_report
+
+
+@pytest.fixture
+def busy_nexus():
+    bed = make_sp2(nodes_a=2, nodes_b=0)
+    nexus = bed.nexus
+    a = nexus.context(bed.hosts_a[0], "alpha")
+    b = nexus.context(bed.hosts_a[1], "beta")
+    b.poll_manager.set_skip("tcp", 16)
+    b.register_handler("h", lambda c, e, buf: None)
+    sp = a.startpoint_to(b.new_endpoint())
+
+    def sender():
+        for _ in range(3):
+            yield from sp.rsr("h", Buffer().put_padding(2048))
+
+    def receiver():
+        yield from b.wait(lambda: b.rsrs_dispatched == 3)
+
+    done = nexus.spawn(receiver())
+    nexus.spawn(sender())
+    nexus.run(until=done)
+    return nexus
+
+
+def test_report_sections_present(busy_nexus):
+    text = runtime_report(busy_nexus)
+    assert "nexus runtime report" in text
+    assert "contexts:" in text
+    assert "transports:" in text
+    assert "runtime counters:" in text
+
+
+def test_report_shows_contexts_and_skip(busy_nexus):
+    text = runtime_report(busy_nexus)
+    assert "alpha" in text and "beta" in text
+    assert "skip_poll 16" in text
+    assert "rsrs in 3" in text
+
+
+def test_report_shows_traffic(busy_nexus):
+    text = runtime_report(busy_nexus)
+    assert "mpl" in text
+    assert "3 messages" in text
+    assert "nexus.rsrs_sent: 3" in text
+
+
+def test_report_without_counters(busy_nexus):
+    text = runtime_report(busy_nexus, include_counters=False)
+    assert "runtime counters:" not in text
+
+
+def test_report_on_idle_runtime():
+    bed = make_sp2(nodes_a=1, nodes_b=0)
+    bed.nexus.context(bed.hosts_a[0], "lonely")
+    text = runtime_report(bed.nexus)
+    assert "(no traffic)" in text
+    assert "lonely" in text

@@ -1,0 +1,112 @@
+"""Tests for per-module applicability rules (Section 3.2's method-specific
+criteria) and descriptor export."""
+
+import pytest
+
+from repro.testbeds import make_iway, make_sp2
+
+
+@pytest.fixture
+def bed():
+    return make_sp2(nodes_a=2, nodes_b=1,
+                    transports=("local", "shm", "mpl", "tcp", "udp"))
+
+
+def ctx_pair(bed, host_a, host_b, methods=None):
+    nexus = bed.nexus
+    return (nexus.context(host_a, methods=methods),
+            nexus.context(host_b, methods=methods))
+
+
+def applicable(nexus, name, local, remote):
+    transport = nexus.transports.get(name)
+    descriptor = transport.export_descriptor(remote)
+    if descriptor is None:
+        return False
+    return transport.applicable(local, descriptor, remote.host)
+
+
+class TestLocal:
+    def test_only_same_context(self, bed):
+        a, b = ctx_pair(bed, bed.hosts_a[0], bed.hosts_a[1])
+        assert applicable(bed.nexus, "local", a, a)
+        assert not applicable(bed.nexus, "local", a, b)
+
+
+class TestShm:
+    def test_same_host_different_context(self, bed):
+        nexus = bed.nexus
+        a1 = nexus.context(bed.hosts_a[0])
+        a2 = nexus.context(bed.hosts_a[0])
+        b = nexus.context(bed.hosts_a[1])
+        assert applicable(nexus, "shm", a1, a2)
+        assert not applicable(nexus, "shm", a1, b)
+
+    def test_not_applicable_to_self(self, bed):
+        ctx = bed.nexus.context(bed.hosts_a[0])
+        assert not applicable(bed.nexus, "shm", ctx, ctx)
+
+
+class TestMpl:
+    def test_same_partition_only(self, bed):
+        a, a2 = ctx_pair(bed, bed.hosts_a[0], bed.hosts_a[1])
+        b = bed.nexus.context(bed.hosts_b[0])
+        assert applicable(bed.nexus, "mpl", a, a2)
+        assert not applicable(bed.nexus, "mpl", a, b)
+
+    def test_descriptor_carries_node_and_session(self, bed):
+        ctx = bed.nexus.context(bed.hosts_a[0])
+        descriptor = bed.nexus.transports.get("mpl").export_descriptor(ctx)
+        assert descriptor.param("node") == ctx.host.id
+        assert descriptor.param("session") == bed.partition_a.session
+
+    def test_no_descriptor_outside_partition(self, bed):
+        machine = bed.machine
+        loose = machine.new_host("loose")
+        ctx = bed.nexus.context(loose, methods=("local", "tcp"))
+        assert bed.nexus.transports.get("mpl").export_descriptor(ctx) is None
+
+
+class TestTcp:
+    def test_applicable_across_partitions(self, bed):
+        a = bed.nexus.context(bed.hosts_a[0])
+        b = bed.nexus.context(bed.hosts_b[0])
+        assert applicable(bed.nexus, "tcp", a, b)
+        assert applicable(bed.nexus, "tcp", b, a)
+
+    def test_not_applicable_without_route(self):
+        iway_bed = make_iway()
+        nexus = iway_bed.nexus
+        # Temporarily build a disconnected machine.
+        island = nexus.network.new_machine("island")
+        island_host = island.new_host()
+        a = nexus.context(iway_bed.sp2_hosts[0])
+        b = nexus.context(island_host, methods=("local", "tcp"))
+        assert not applicable(nexus, "tcp", a, b)
+
+
+class TestMyrinetAal5:
+    def test_myrinet_needs_attribute_on_both(self):
+        bed = make_sp2(nodes_a=2, nodes_b=0,
+                       transports=("local", "myrinet", "tcp"))
+        bed.hosts_a[0].attributes["myrinet"] = True
+        a = bed.nexus.context(bed.hosts_a[0])
+        b = bed.nexus.context(bed.hosts_a[1])
+        # b's host lacks the interface: no descriptor at all.
+        assert bed.nexus.transports.get("myrinet").export_descriptor(b) is None
+        bed.hosts_a[1].attributes["myrinet"] = True
+        b2 = bed.nexus.context(bed.hosts_a[1])
+        assert applicable(bed.nexus, "myrinet", a, b2)
+
+    def test_aal5_on_iway(self):
+        bed = make_iway()
+        nexus = bed.nexus
+        sp2_ctx = nexus.context(bed.sp2_hosts[0])
+        cave_ctx = nexus.context(bed.cave_host)
+        daq_ctx = nexus.context(bed.instrument_host,
+                                methods=("local", "tcp", "udp"))
+        assert applicable(nexus, "aal5", sp2_ctx, cave_ctx)
+        # The instrument host has no ATM interface.
+        assert nexus.transports.get("aal5").export_descriptor(daq_ctx) is None
+        # But TCP reaches it through the routed path.
+        assert applicable(nexus, "tcp", sp2_ctx, daq_ctx)

@@ -1,0 +1,205 @@
+"""Tests for the protocol composition framework."""
+
+import pytest
+
+from repro.core.buffers import Buffer
+from repro.core.selection import RequireMethod
+from repro.testbeds import make_sp2
+from repro.transports.base import WireMessage
+from repro.transports.errors import RegistryError, TransportError
+from repro.transports.layers import (
+    ChecksumLayer,
+    CompressionLayer,
+    FragmentationLayer,
+    make_layered,
+)
+
+
+def message(nbytes=1000, src=1, dst=2):
+    return WireMessage(handler="h", endpoint_id=1, src_context=src,
+                       dst_context=dst, payload="payload", nbytes=nbytes)
+
+
+class TestCompressionLayer:
+    def test_shrinks_wire_size(self):
+        layer = CompressionLayer(ratio=0.5)
+        out, cpu = layer.transform_send(message(1000))
+        assert out[0].nbytes == 8 + 500
+        assert cpu > 0
+        assert layer.bytes_saved == 1000 - 508
+
+    def test_deliver_restores_size_and_charges(self):
+        layer = CompressionLayer(ratio=0.5)
+        (msg,), _cpu = layer.transform_send(message(1000))
+        (restored,) = layer.transform_deliver(msg, None)
+        assert restored.nbytes == 1000
+        assert restored.headers["extra_recv_cpu"] > 0
+
+    def test_incompressible_stored_raw(self):
+        layer = CompressionLayer(ratio=0.99)
+        (msg,), _cpu = layer.transform_send(message(20))
+        assert msg.nbytes == 20  # raw: ratio*20+8 >= 20
+        (restored,) = layer.transform_deliver(msg, None)
+        assert restored.nbytes == 20
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(TransportError):
+            CompressionLayer(ratio=0.0)
+        with pytest.raises(TransportError):
+            CompressionLayer(ratio=1.5)
+
+
+class TestChecksumLayer:
+    def test_trailer_roundtrip(self):
+        layer = ChecksumLayer()
+        (msg,), cpu = layer.transform_send(message(100))
+        assert msg.nbytes == 108 and cpu > 0
+        (verified,) = layer.transform_deliver(msg, None)
+        assert verified.nbytes == 100
+        assert layer.verified == 1
+
+    def test_missing_trailer_detected(self):
+        layer = ChecksumLayer()
+        with pytest.raises(TransportError, match="missing"):
+            layer.transform_deliver(message(100), None)
+
+
+class TestFragmentationLayer:
+    def test_small_messages_untouched(self):
+        layer = FragmentationLayer(mtu=1024)
+        out, cpu = layer.transform_send(message(100))
+        assert len(out) == 1 and cpu == 0.0
+
+    def test_split_and_reassemble(self):
+        layer = FragmentationLayer(mtu=512)
+        fragments, _cpu = layer.transform_send(message(2000))
+        assert len(fragments) == 4  # 500 payload bytes per fragment
+        assert sum(f.nbytes for f in fragments) == 2000 + 4 * 12
+        # payload object travels exactly once
+        assert [f.payload for f in fragments].count("payload") == 1
+
+        delivered = []
+        for fragment in fragments:
+            delivered.extend(layer.transform_deliver(fragment, None))
+        assert len(delivered) == 1
+        assert delivered[0].nbytes == 2000
+        assert delivered[0].payload == "payload"
+        assert layer.partial_messages == 0
+
+    def test_out_of_order_reassembly(self):
+        layer = FragmentationLayer(mtu=512)
+        fragments, _cpu = layer.transform_send(message(2000))
+        delivered = []
+        for fragment in reversed(fragments):
+            delivered.extend(layer.transform_deliver(fragment, None))
+        assert len(delivered) == 1 and delivered[0].nbytes == 2000
+
+    def test_interleaved_streams_do_not_mix(self):
+        layer = FragmentationLayer(mtu=512)
+        frags_a, _ = layer.transform_send(message(1500, src=1))
+        frags_b, _ = layer.transform_send(message(1500, src=2))
+        delivered = []
+        for pair in zip(frags_a, frags_b):
+            for fragment in pair:
+                delivered.extend(layer.transform_deliver(fragment, None))
+        assert len(delivered) == 2
+        assert {m.src_context for m in delivered} == {1, 2}
+
+    def test_tiny_mtu_rejected(self):
+        with pytest.raises(TransportError):
+            FragmentationLayer(mtu=4)
+
+
+class TestLayeredTransportEndToEnd:
+    @pytest.fixture
+    def bed(self):
+        return make_sp2(nodes_a=1, nodes_b=1)
+
+    def _run(self, bed, layers, nbytes, name):
+        nexus = bed.nexus
+        make_layered(nexus.transports, "tcp", layers, name=name)
+        methods = ("local", "tcp", name)
+        a = nexus.context(bed.hosts_a[0], methods=methods)
+        b = nexus.context(bed.hosts_b[0], methods=methods)
+        log = []
+        b.register_handler("h", lambda c, e, buf: log.append(
+            (buf.get_padding(), nexus.now)))
+        sp = a.startpoint_to(b.new_endpoint(), policy=RequireMethod(name))
+
+        def sender():
+            yield from sp.rsr("h", Buffer().put_padding(nbytes))
+
+        def receiver():
+            yield from b.wait(lambda: bool(log))
+
+        done = nexus.spawn(receiver())
+        nexus.spawn(sender())
+        nexus.run(until=done)
+        return log[0], nexus
+
+    def test_compressed_tcp_delivers_payload_intact(self, bed):
+        (size, _at), nexus = self._run(
+            bed, [CompressionLayer(ratio=0.3)], 200_000, "lzw+tcp")
+        assert size == 200_000  # application sees the original bytes
+        transport = nexus.transports.get("lzw+tcp")
+        # wire carried the compressed size
+        assert transport.carrier.bytes_sent < 0.5 * 200_000
+
+    def test_compression_wins_on_slow_wire(self):
+        """The paper's manual-selection example, measured: compressing a
+        large transfer over 8 MB/s TCP beats plain TCP."""
+        bed_plain = make_sp2(nodes_a=1, nodes_b=1)
+        nexus = bed_plain.nexus
+        a = nexus.context(bed_plain.hosts_a[0])
+        b = nexus.context(bed_plain.hosts_b[0])
+        log = []
+        b.register_handler("h", lambda c, e, buf: log.append(nexus.now))
+        sp = a.startpoint_to(b.new_endpoint())
+
+        def sender():
+            yield from sp.rsr("h", Buffer().put_padding(2_000_000))
+
+        def receiver():
+            yield from b.wait(lambda: bool(log))
+
+        done = nexus.spawn(receiver())
+        nexus.spawn(sender())
+        nexus.run(until=done)
+        plain_time = log[0]
+
+        bed_lzw = make_sp2(nodes_a=1, nodes_b=1)
+        (_size, lzw_time), _ = self._run(
+            bed_lzw, [CompressionLayer(ratio=0.4)], 2_000_000, "lzw+tcp")
+        # Wire serialisation and kernel send copies shrink with the data;
+        # the receive-side copy is charged on the *decompressed* bytes, so
+        # the win is real but bounded (~20% at this ratio).
+        assert lzw_time < plain_time * 0.85
+
+    def test_full_stack_checksum_fragmentation_compression(self, bed):
+        (size, _at), nexus = self._run(
+            bed,
+            [CompressionLayer(ratio=0.5), ChecksumLayer(),
+             FragmentationLayer(mtu=16 * 1024)],
+            300_000, "lzw+cksum+frag+tcp")
+        assert size == 300_000
+        stack = nexus.transports.get("lzw+cksum+frag+tcp")
+        frag = stack.layers[2]
+        assert frag.fragments_sent > 1
+        assert frag.partial_messages == 0
+
+    def test_composite_never_auto_selected(self, bed):
+        nexus = bed.nexus
+        make_layered(nexus.transports, "tcp", [ChecksumLayer()],
+                     name="cksum+tcp")
+        methods = ("local", "tcp", "cksum+tcp")
+        a = nexus.context(bed.hosts_a[0], methods=methods)
+        b = nexus.context(bed.hosts_b[0], methods=methods)
+        sp = a.startpoint_to(b.new_endpoint())
+        assert sp.ensure_connected(sp.links[0]).method == "tcp"
+
+    def test_duplicate_registration_rejected(self, bed):
+        make_layered(bed.nexus.transports, "tcp", [ChecksumLayer()],
+                     name="dup")
+        with pytest.raises(RegistryError):
+            make_layered(bed.nexus.transports, "tcp", [ChecksumLayer()],
+                         name="dup")

@@ -1,0 +1,102 @@
+"""Tests for the transport registry (module loading machinery)."""
+
+import pytest
+
+from repro.simnet import Network, Simulator, Tracer
+from repro.simnet.random import RandomStreams
+from repro.transports import (
+    BUILTIN_TRANSPORTS,
+    DEFAULT_TRANSPORT_SET,
+    TcpTransport,
+    Transport,
+    TransportRegistry,
+    TransportServices,
+    parse_module_spec,
+)
+from repro.transports.errors import RegistryError
+
+
+@pytest.fixture
+def services():
+    sim = Simulator()
+    return TransportServices(sim, Network(sim), Tracer(),
+                             RandomStreams(0).stream("t"))
+
+
+@pytest.fixture
+def registry(services):
+    return TransportRegistry(services)
+
+
+class TestParseModuleSpec:
+    def test_commas_and_spaces(self):
+        assert parse_module_spec("mpl, tcp udp") == ["mpl", "tcp", "udp"]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(RegistryError):
+            parse_module_spec("mpl, warp-drive")
+
+    def test_dynamic_specs_allowed(self):
+        assert parse_module_spec("pkg.mod:Cls") == ["pkg.mod:Cls"]
+
+
+class TestRegistry:
+    def test_enable_and_get(self, registry):
+        transport = registry.enable("tcp")
+        assert isinstance(transport, TcpTransport)
+        assert registry.get("tcp") is transport
+        assert "tcp" in registry
+
+    def test_enable_idempotent(self, registry):
+        assert registry.enable("mpl") is registry.enable("mpl")
+
+    def test_unknown_name_rejected(self, registry):
+        with pytest.raises(RegistryError):
+            registry.enable("nonexistent")
+        with pytest.raises(RegistryError):
+            registry.get("nonexistent")
+
+    def test_default_set_exists(self):
+        for name in DEFAULT_TRANSPORT_SET:
+            assert name in BUILTIN_TRANSPORTS
+
+    def test_names_fastest_first(self, registry):
+        registry.enable_all(["tcp", "mpl", "local"])
+        names = registry.names()
+        assert names == ["local", "mpl", "tcp"]
+        ranks = [registry.get(n).speed_rank for n in names]
+        assert ranks == sorted(ranks)
+
+    def test_dynamic_load(self, registry):
+        transport = registry.load("repro.transports.udp:UdpTransport")
+        assert transport.name == "udp"
+        assert "udp" in registry
+
+    def test_dynamic_load_via_enable(self, registry):
+        transport = registry.enable("repro.transports.myrinet:MyrinetTransport")
+        assert transport.name == "myrinet"
+
+    def test_dynamic_load_bad_specs(self, registry):
+        with pytest.raises(RegistryError):
+            registry.load("no.such.module:Cls")
+        with pytest.raises(RegistryError):
+            registry.load("repro.transports.udp:Missing")
+        with pytest.raises(RegistryError):
+            registry.load("repro.transports.udp")  # no class name
+        with pytest.raises(RegistryError):
+            registry.load("repro.simnet.engine:Simulator")  # not a Transport
+
+    def test_custom_cost_override(self, services):
+        from repro.transports.costmodels import TCP_COSTS
+        registry = TransportRegistry(
+            services, costs={"tcp": TCP_COSTS.replace(poll_cost=42.0)})
+        assert registry.enable("tcp").poll_cost == 42.0
+
+    def test_speed_ranks_unique(self):
+        ranks = [cls.speed_rank for cls in BUILTIN_TRANSPORTS.values()]
+        assert len(set(ranks)) == len(ranks)
+
+    def test_all_builtins_are_transports(self):
+        for cls in BUILTIN_TRANSPORTS.values():
+            assert issubclass(cls, Transport)
+            assert isinstance(cls.name, str) and cls.name

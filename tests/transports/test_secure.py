@@ -1,0 +1,144 @@
+"""Tests for the security-enhanced method and the site-security policy."""
+
+import pytest
+
+from repro.core.buffers import Buffer
+from repro.core.errors import SelectionError
+from repro.core.selection import SiteSecurityPolicy
+from repro.testbeds import make_sp2
+from repro.transports.secure import MAC_BYTES, SECURE_TCP_COSTS
+from repro.transports.costmodels import TCP_COSTS
+
+METHODS = ("local", "mpl", "tcp", "stcp")
+
+
+@pytest.fixture
+def bed():
+    bed = make_sp2(nodes_a=2, nodes_b=1, transports=METHODS)
+    # Partition A hosts live at Argonne; partition B's at Caltech.
+    for host in bed.hosts_a:
+        host.attributes["site"] = "anl"
+    for host in bed.hosts_b:
+        host.attributes["site"] = "caltech"
+    return bed
+
+
+class TestCostModel:
+    def test_crypto_costs_stack_on_tcp(self):
+        assert SECURE_TCP_COSTS.per_byte_send > TCP_COSTS.per_byte_send
+        assert SECURE_TCP_COSTS.per_byte_recv > TCP_COSTS.per_byte_recv
+        assert SECURE_TCP_COSTS.connect_cost > TCP_COSTS.connect_cost
+
+    def test_slower_rank_than_tcp(self, bed):
+        stcp = bed.nexus.transports.get("stcp")
+        tcp = bed.nexus.transports.get("tcp")
+        assert stcp.speed_rank > tcp.speed_rank  # never auto-selected
+
+
+class TestDelivery:
+    def _exchange(self, bed, a, b, nbytes=0):
+        nexus = bed.nexus
+        log = []
+        b.register_handler("h", lambda c, e, buf: log.append(nexus.now))
+        from repro.core.selection import RequireMethod
+        sp = a.startpoint_to(b.new_endpoint(), policy=RequireMethod("stcp"))
+
+        def sender():
+            yield from sp.rsr("h", Buffer().put_padding(nbytes))
+
+        def receiver():
+            yield from b.wait(lambda: bool(log))
+
+        done = nexus.spawn(receiver())
+        nexus.spawn(sender())
+        nexus.run(until=done)
+        return log[0], sp
+
+    def test_secure_delivery_works(self, bed):
+        a = bed.nexus.context(bed.hosts_a[0], methods=METHODS)
+        b = bed.nexus.context(bed.hosts_b[0], methods=METHODS)
+        arrival, sp = self._exchange(bed, a, b)
+        assert sp.current_methods() == ["stcp"]
+        # key exchange (20 ms) dominates the first message
+        assert arrival > 0.02
+
+    def test_crypto_slows_bulk_transfer_vs_tcp(self, bed):
+        nexus = bed.nexus
+        a = nexus.context(bed.hosts_a[0], methods=METHODS)
+        b = nexus.context(bed.hosts_b[0], methods=METHODS)
+        secure_time, _ = self._exchange(bed, a, b, nbytes=1024 * 1024)
+
+        bed2 = make_sp2(nodes_a=1, nodes_b=1, transports=METHODS)
+        a2 = bed2.nexus.context(bed2.hosts_a[0], methods=METHODS)
+        b2 = bed2.nexus.context(bed2.hosts_b[0], methods=METHODS)
+        log = []
+        b2.register_handler("h", lambda c, e, buf: log.append(bed2.nexus.now))
+        sp = a2.startpoint_to(b2.new_endpoint())  # auto: plain tcp
+
+        def sender():
+            yield from sp.rsr("h", Buffer().put_padding(1024 * 1024))
+
+        def receiver():
+            yield from b2.wait(lambda: bool(log))
+
+        done = bed2.nexus.spawn(receiver())
+        bed2.nexus.spawn(sender())
+        bed2.nexus.run(until=done)
+        assert sp.current_methods() == ["tcp"]
+        assert secure_time > log[0] * 1.5  # DES costs real CPU time
+
+    def test_mac_bytes_on_wire(self, bed):
+        a = bed.nexus.context(bed.hosts_a[0], methods=METHODS)
+        b = bed.nexus.context(bed.hosts_b[0], methods=METHODS)
+        self._exchange(bed, a, b, nbytes=100)
+        stcp = bed.nexus.transports.get("stcp")
+        assert stcp.bytes_sent >= 100 + MAC_BYTES
+
+
+class TestSitePolicy:
+    def test_cross_site_requires_secure(self, bed):
+        nexus = bed.nexus
+        policy = SiteSecurityPolicy()
+        a = nexus.context(bed.hosts_a[0], methods=METHODS)
+        remote = nexus.context(bed.hosts_b[0], methods=METHODS)
+        sp = a.startpoint_to(remote.new_endpoint(), policy=policy)
+        assert sp.ensure_connected(sp.links[0]).method == "stcp"
+
+    def test_within_site_avoids_secure(self, bed):
+        nexus = bed.nexus
+        policy = SiteSecurityPolicy()
+        a = nexus.context(bed.hosts_a[0], methods=METHODS)
+        peer = nexus.context(bed.hosts_a[1], methods=METHODS)
+        sp = a.startpoint_to(peer.new_endpoint(), policy=policy)
+        assert sp.ensure_connected(sp.links[0]).method == "mpl"
+
+    def test_unknown_site_treated_as_crossing(self, bed):
+        nexus = bed.nexus
+        machine = bed.machine
+        anon_host = machine.new_host("anon")  # no site attribute
+        policy = SiteSecurityPolicy()
+        a = nexus.context(bed.hosts_a[0], methods=METHODS)
+        anon = nexus.context(anon_host, methods=METHODS)
+        sp = a.startpoint_to(anon.new_endpoint(), policy=policy)
+        assert sp.ensure_connected(sp.links[0]).method == "stcp"
+
+    def test_cross_site_without_secure_method_fails(self, bed):
+        nexus = bed.nexus
+        policy = SiteSecurityPolicy()
+        a = nexus.context(bed.hosts_a[0], methods=METHODS)
+        remote = nexus.context(bed.hosts_b[0],
+                               methods=("local", "tcp"))  # no stcp
+        sp = a.startpoint_to(remote.new_endpoint(), policy=policy)
+        with pytest.raises(SelectionError, match="requires 'stcp'"):
+            sp.ensure_connected(sp.links[0])
+
+    def test_control_vs_data_startpoints(self, bed):
+        """The paper's scenario: control encrypted cross-site, data not."""
+        nexus = bed.nexus
+        a = nexus.context(bed.hosts_a[0], methods=METHODS)
+        remote = nexus.context(bed.hosts_b[0], methods=METHODS)
+        control = a.startpoint_to(remote.new_endpoint(),
+                                  policy=SiteSecurityPolicy())
+        data = a.startpoint_to(remote.new_endpoint())  # default policy
+        assert control.ensure_connected(control.links[0]).method == "stcp"
+        assert data.ensure_connected(data.links[0]).method == "tcp"
