@@ -20,6 +20,7 @@ import sys
 import time
 import typing as _t
 
+from .. import obs as _obs
 from .ablations import (
     ablation_adaptive_skip,
     ablation_blocking_poll,
@@ -125,6 +126,9 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                              "(default: all)")
     parser.add_argument("--quick", action="store_true",
                         help="reduced workload sizes")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="trace every RSR lifecycle and write a "
+                             "Chrome trace-event JSON (load in Perfetto)")
     parser.add_argument("--list", action="store_true",
                         help="list artefacts and exit")
     args = parser.parse_args(argv)
@@ -139,11 +143,24 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         if name not in ARTEFACTS:
             parser.error(f"unknown artefact {name!r}; "
                          f"choose from {', '.join(ARTEFACTS)}")
+    collected: list = []
     for name in selected:
         print(f"=== {name} {'(quick)' if args.quick else ''} ===")
         started = time.time()
-        ARTEFACTS[name](args.quick)
+        if args.trace:
+            with _obs.collecting() as runs:
+                ARTEFACTS[name](args.quick)
+            collected.extend(runs)
+        else:
+            ARTEFACTS[name](args.quick)
         print(f"[{name}: {time.time() - started:.1f}s wall]\n")
+
+    if args.trace:
+        _obs.export.write_merged_chrome_trace(args.trace, collected)
+        spans = sum(len(obs.spans) for obs, _nexus in collected)
+        rsrs = sum(obs.rsrs_started for obs, _nexus in collected)
+        print(f"trace: {spans} spans over {rsrs} RSRs from "
+              f"{len(collected)} runtimes -> {args.trace}")
     return 0
 
 

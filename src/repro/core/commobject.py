@@ -51,6 +51,9 @@ class CommObject:
         """Generator: transmit ``message`` over this connection."""
         self.messages_sent += 1
         self.bytes_sent += message.nbytes
+        if message.trace is not None:
+            message.trace.transition("enqueue", ctx=self.owner.id,
+                                     lane=self.transport.name)
         yield from self.transport.send(self.owner, self.state,
                                        self.descriptor, message)
 

@@ -229,6 +229,10 @@ class Context:
             return
 
         nexus = self.nexus
+        trace = message.trace
+        if trace is not None:
+            trace.transition("dispatch", ctx=self.id,
+                             handler=message.handler)
         costs = nexus.runtime_costs.dispatch_cost
         if message.method and message.method in nexus.transports:
             tc = nexus.transports.get(message.method).costs
@@ -262,8 +266,13 @@ class Context:
         self.rsrs_dispatched += 1
         nexus.tracer.incr("nexus.rsrs_dispatched")
 
+        if trace is not None:
+            trace.transition("handler", ctx=self.id)
         result = handler(self, endpoint, _t.cast(Buffer, payload))
-        if result is not None and hasattr(result, "send"):
+        threaded = result is not None and hasattr(result, "send")
+        if trace is not None:
+            trace.finish(nexus.sim.now, threaded=threaded)
+        if threaded:
             # Threaded handler: runs concurrently, may block.
             nexus.sim.spawn(_t.cast(_t.Generator, result),
                             name=f"handler:{message.handler}@ctx{self.id}")

@@ -91,14 +91,19 @@ def estimate_one_way(context: "Context", startpoint: "Startpoint",
 
 @dataclasses.dataclass(frozen=True)
 class PollReport:
-    """Summary of one context's polling behaviour."""
+    """Summary of one context's polling behaviour.
+
+    ``hit_rates`` maps every polled method to the fraction of its polls
+    that found a message, or ``None`` for methods that never fired (no
+    data — distinct from "polled and found nothing", which is 0.0).
+    """
 
     context_id: int
     cycles: int
     fires: dict[str, int]
     poll_time: dict[str, float]
     messages: dict[str, int]
-    hit_rates: dict[str, float]
+    hit_rates: dict[str, float | None]
     skip: dict[str, int]
     idle_fast_forwards: int
 
@@ -106,13 +111,15 @@ class PollReport:
 def poll_report(context: "Context") -> PollReport:
     """Observable polling statistics (evaluating selection/tuning)."""
     stats = context.poll_manager.stats
+    polled = list(context.poll_manager.methods)
+    polled += [m for m in stats.fires if m not in polled]
     return PollReport(
         context_id=context.id,
         cycles=stats.cycles,
         fires=dict(stats.fires),
         poll_time=dict(stats.poll_time),
         messages=dict(stats.messages),
-        hit_rates={m: stats.hit_rate(m) for m in stats.fires},
+        hit_rates={m: stats.hit_rate(m) for m in polled},
         skip={m: context.poll_manager.get_skip(m)
               for m in context.poll_manager.methods},
         idle_fast_forwards=stats.idle_fast_forwards,
@@ -128,5 +135,66 @@ def transport_report(nexus: "Nexus") -> dict[str, dict[str, int]]:
             "messages_sent": transport.messages_sent,
             "bytes_sent": transport.bytes_sent,
             "messages_dropped": transport.messages_dropped,
+            "bytes_dropped": transport.bytes_dropped,
         }
+    return report
+
+
+# -- RSR lifecycle observability (repro.obs) ---------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class PhaseStats:
+    """Distribution summary of one traced quantity (microseconds)."""
+
+    count: int
+    mean_us: float
+    p50_us: float
+    p95_us: float
+    max_us: float
+
+    @classmethod
+    def from_histogram(cls, histogram) -> "PhaseStats | None":
+        if histogram.count == 0:
+            return None
+        return cls(count=histogram.count,
+                   mean_us=histogram.mean,
+                   p50_us=histogram.quantile(0.5),
+                   p95_us=histogram.quantile(0.95),
+                   max_us=histogram.max_value)
+
+
+def phase_report(nexus: "Nexus") -> dict[tuple[str, str], PhaseStats]:
+    """Per-(phase, lane) time distributions of traced RSR lifecycles.
+
+    Answers *where a single RSR's time goes* — marshal vs wire vs
+    poll-detection vs dispatch — per transport lane.  Empty unless the
+    runtime was created with ``observe=True`` and traffic ran.
+    """
+    report: dict[tuple[str, str], PhaseStats] = {}
+    for _name, labels, metric in nexus.obs.metrics.collect("rsr_phase_us"):
+        stats = PhaseStats.from_histogram(metric)
+        if stats is not None:
+            label_map = dict(labels)
+            report[(label_map["phase"], label_map["lane"])] = stats
+    return report
+
+
+def latency_report(nexus: "Nexus") -> dict[str, PhaseStats]:
+    """End-to-end RSR latency distribution per final delivery method."""
+    report: dict[str, PhaseStats] = {}
+    for _name, labels, metric in nexus.obs.metrics.collect("rsr_latency_us"):
+        stats = PhaseStats.from_histogram(metric)
+        if stats is not None:
+            report[dict(labels)["method"]] = stats
+    return report
+
+
+def poll_batch_report(nexus: "Nexus") -> dict[str, PhaseStats]:
+    """Messages-found-per-poll distribution per method (the poll-hit
+    histogram behind :class:`PollReport`'s scalar hit rates)."""
+    report: dict[str, PhaseStats] = {}
+    for _name, labels, metric in nexus.obs.metrics.collect("poll_batch"):
+        stats = PhaseStats.from_histogram(metric)
+        if stats is not None:
+            report[dict(labels)["method"]] = stats
     return report

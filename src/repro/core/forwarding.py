@@ -106,6 +106,11 @@ class ForwardingService:
         destination over the fast intra-partition method."""
         if forwarder_context is not self.forwarder:
             raise NexusError("forward() called on a non-forwarder context")
+        if message.trace is not None:
+            message.trace.hops += 1
+            message.trace.transition("forward", ctx=forwarder_context.id,
+                                     hop=message.trace.hops,
+                                     fast_method=self.fast_method)
         yield from forwarder_context.charge(self.forward_overhead)
 
         registry = self.nexus.transports

@@ -64,11 +64,16 @@ class PollStats:
         if count:
             self.messages[method] = self.messages.get(method, 0) + count
 
-    def hit_rate(self, method: str) -> float:
-        """Fraction of this method's polls that found a message."""
+    def hit_rate(self, method: str) -> float | None:
+        """Fraction of this method's polls that found a message.
+
+        ``None`` when the method never fired — "no data" is different
+        from "fired and found nothing" (0.0), and conflating them makes
+        skip_poll tuning decisions on phantom zeros.
+        """
         fires = self.fires.get(method, 0)
         if fires == 0:
-            return 0.0
+            return None
         return self.messages.get(method, 0) / fires
 
 
@@ -220,10 +225,13 @@ class PollManager:
             context.foreign_poll_total += foreign_cost
 
         dispatched = 0
+        obs = context.nexus.obs
         for method in firing:
             transport = registry.get(method)
             messages = transport.collect(context)
             self.stats.note_messages(method, len(messages))
+            if obs.enabled:
+                obs.note_poll_batch(method, len(messages))
             for message in messages:
                 yield from context.dispatch(message)
                 dispatched += 1

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import typing as _t
 
+from .. import obs as _obs
+from ..obs import Observability
 from ..simnet.engine import Simulator
 from ..simnet.network import Network
 from ..simnet.random import RandomStreams
@@ -54,6 +56,13 @@ class Nexus:
         Root seed for all stochastic elements (UDP loss etc.).
     trace_log:
         Capacity of the tracer's event log (0 = counters only).
+    observe:
+        Enable span-based RSR lifecycle tracing (:mod:`repro.obs`).
+        ``None`` (default) defers to :func:`repro.obs.default_observe`,
+        which scopes like :func:`repro.obs.collecting` flip on.
+    max_spans:
+        Span-log capacity when observing (excess spans are counted as
+        dropped, never silently ignored).
     """
 
     def __init__(self, sim: Simulator | None = None,
@@ -62,10 +71,18 @@ class Nexus:
                  costs: _t.Mapping[str, TransportCosts] | None = None,
                  runtime_costs: RuntimeCosts | None = None,
                  seed: int = 0,
-                 trace_log: int = 0):
+                 trace_log: int = 0,
+                 observe: bool | None = None,
+                 max_spans: int = 1_000_000):
         self.sim = sim or Simulator()
         self.network = network or Network(self.sim)
         self.tracer = Tracer(log_capacity=trace_log)
+        self.obs = Observability(
+            self.sim,
+            enabled=_obs.default_observe() if observe is None else observe,
+            max_spans=max_spans,
+        )
+        _obs.note_runtime(self.obs, self)
         self.streams = RandomStreams(seed)
         self.runtime_costs = runtime_costs or DEFAULT_RUNTIME_COSTS
 
@@ -75,6 +92,7 @@ class Nexus:
         )
         services.runtime_costs = self.runtime_costs
         services.resolve_context = self._resolve_context
+        services.obs = self.obs
         self.transports = TransportRegistry(services, costs)
 
         if transports is None:

@@ -181,7 +181,16 @@ class Startpoint:
 
         # Every Nexus operation gives the poll function a chance to run.
         yield from context.poll_manager.poll()
+
+        obs = nexus.obs
+        issue = (obs.rsr_begin(context.id, handler, len(self.links))
+                 if obs.enabled else None)
+        marshal = (obs.open_span("marshal", rsr=issue.rsr, ctx=context.id,
+                                 parent=issue.id)
+                   if issue is not None else None)
         yield from context.charge(nexus.runtime_costs.rsr_send_overhead)
+        if marshal is not None:
+            obs.close_span(marshal)
 
         nbytes = (buffer.nbytes + nexus.runtime_costs.header_bytes
                   + len(handler))
@@ -191,7 +200,10 @@ class Startpoint:
 
         group = self._common_multicast_group()
         if group is not None:
-            yield from self._rsr_multicast(handler, buffer, nbytes, group)
+            yield from self._rsr_multicast(handler, buffer, nbytes, group,
+                                           issue)
+            if issue is not None:
+                obs.close_span(issue)
             return
 
         for link in self.links:
@@ -204,7 +216,11 @@ class Startpoint:
                 payload=buffer.reader_copy() if self.is_multicast else buffer,
                 nbytes=nbytes,
             )
+            if issue is not None:
+                obs.attach(message, issue)
             yield from comm.send(message)
+        if issue is not None:
+            obs.close_span(issue)
 
     def _common_multicast_group(self) -> str | None:
         """If every link has selected the mcast method with one shared
@@ -226,7 +242,7 @@ class Startpoint:
         return group
 
     def _rsr_multicast(self, handler: str, buffer: Buffer, nbytes: int,
-                       group: str):
+                       group: str, issue=None):
         context = self.context
         transport = context.nexus.transports.get("mcast")
         assert isinstance(transport, MulticastTransport)
@@ -243,6 +259,10 @@ class Startpoint:
                      "endpoints": {l.context_id: l.endpoint_id
                                    for l in self.links}},
         )
+        if issue is not None:
+            context.nexus.obs.attach(message, issue)
+            message.trace.transition("enqueue", ctx=context.id,
+                                     lane=transport.name, group=group)
         yield from transport.send_group(context, first.comm.state, group,
                                         message)
 

@@ -253,6 +253,13 @@ class MpiProcess:
                       else communicator.p2p_context)
         posted = self.matching.post(context_id, source, tag)
         message = posted.message
+        obs = self.nexus.obs
+        if obs.enabled and message is not None:
+            # How long the message sat in the unexpected queue before a
+            # matching receive was posted — the cost of late receives.
+            obs.metrics.histogram(
+                "mpi_unexpected_dwell_us", rank=self.rank,
+            ).observe((self.nexus.sim.now - message.arrived_at) * 1e6)
         if (message is not None and message.pending_token is not None
                 and message.pending_token not in self._awaiting_data):
             # Matched an unexpected RTS: grant the transfer now.
@@ -438,7 +445,11 @@ def _mpi_handler(context: Context, endpoint: Endpoint | None,
         nbytes=nbytes + MPI_ENVELOPE_BYTES, sent_at=sent_at,
         arrived_at=context.nexus.sim.now,
     )
-    proc.matching.deliver(message)
+    matched = proc.matching.deliver(message)
+    obs = context.nexus.obs
+    if obs.enabled and matched is None:
+        obs.metrics.gauge("mpi_unexpected_depth", rank=proc.rank).set(
+            float(len(proc.matching.unexpected)))
 
 
 class MPIWorld:

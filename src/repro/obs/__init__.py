@@ -1,0 +1,115 @@
+"""repro.obs — end-to-end observability for the Nexus stack.
+
+Three pieces (see :mod:`~repro.obs.spans`, :mod:`~repro.obs.metrics`,
+:mod:`~repro.obs.export`):
+
+* a **span tracer** threading a causal id through every RSR's lifecycle
+  (issue → marshal → enqueue → wire → poll-detect → dispatch → handler,
+  with forwarding and multicast fan-out as linked children);
+* a **metrics registry** of counters, gauges, and fixed-bucket
+  histograms (per-method latency, per-phase time, poll-hit counts);
+* **exporters**: Chrome trace-event JSON (Perfetto), JSONL span dumps,
+  and ASCII timelines/charts for terminals.
+
+Enable per runtime with ``Nexus(observe=True)``, or process-wide for a
+scope with::
+
+    import repro.obs as obs
+
+    with obs.collecting() as runs:          # every Nexus created here
+        result = dual_pingpong(0, 20)       # traces itself
+    obs.export.write_merged_chrome_trace("trace.json", runs)
+
+Everything is deterministic: identical runs produce byte-identical
+exports.  With tracing off (the default) the instrumentation costs one
+attribute load and branch per site.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import typing as _t
+
+from . import export  # noqa: F401  (re-exported submodule)
+from .metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .spans import (
+    NEXUS_LANE,
+    PHASES,
+    MessageTrace,
+    Observability,
+    Span,
+)
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..core.runtime import Nexus
+
+#: Process-wide default for ``Nexus(observe=None)``.
+_default_observe = False
+#: Active collector of (Observability, Nexus) pairs, or None.
+_collector: list[tuple[Observability, "Nexus | None"]] | None = None
+
+
+def observe_by_default(enabled: bool) -> None:
+    """Set the process-wide default for runtimes that don't specify
+    ``observe=...`` themselves (how ``--trace`` reaches runtimes built
+    deep inside benchmark drivers)."""
+    global _default_observe
+    _default_observe = bool(enabled)
+
+
+def default_observe() -> bool:
+    return _default_observe
+
+
+@contextlib.contextmanager
+def collecting() -> _t.Iterator[list[tuple[Observability, "Nexus | None"]]]:
+    """Observe every Nexus created in this scope and collect its traces.
+
+    Yields a list that accumulates ``(obs, nexus)`` pairs as runtimes
+    are constructed; pass it to
+    :func:`~repro.obs.export.write_merged_chrome_trace` afterwards.
+    Restores the previous default on exit (exception-safe, reentrant).
+    """
+    global _collector, _default_observe
+    saved_collector, saved_default = _collector, _default_observe
+    collected: list[tuple[Observability, "Nexus | None"]] = []
+    _collector = collected
+    _default_observe = True
+    try:
+        yield collected
+    finally:
+        _collector, _default_observe = saved_collector, saved_default
+
+
+def note_runtime(obs: Observability, nexus: "Nexus | None") -> None:
+    """Called by Nexus construction; registers enabled runtimes with the
+    active :func:`collecting` scope, if any."""
+    if _collector is not None and obs.enabled:
+        _collector.append((obs, nexus))
+
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_US",
+    "MessageTrace",
+    "MetricsRegistry",
+    "NEXUS_LANE",
+    "Observability",
+    "PHASES",
+    "Span",
+    "collecting",
+    "default_observe",
+    "export",
+    "note_runtime",
+    "observe_by_default",
+]

@@ -1,0 +1,312 @@
+"""Trace exporters: Chrome trace-event JSON, JSONL spans, ASCII timeline.
+
+Chrome trace-event files load directly in Perfetto (ui.perfetto.dev) or
+``chrome://tracing``: each simulation context renders as a *process*,
+each transport (plus the ``nexus`` dispatch lane) as a *thread*, and
+each lifecycle span as a complete ("X") event whose ``args`` carry the
+causal RSR id and parent span id.  The same span log also exports as
+JSONL (one span per line, for ad-hoc jq/pandas analysis) and as an
+ASCII timeline for terminals, built on the same rendering conventions
+as :mod:`repro.util.ascii_chart`.
+
+Every export is deterministic: ids come from per-run counters, context
+ids are renumbered by first appearance, and JSON is serialised with
+sorted keys — identical runs produce byte-identical artefacts.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+
+from ..util.ascii_chart import GLYPHS, render_chart
+from ..util.records import Series
+from .metrics import Histogram
+from .spans import NEXUS_LANE, PHASES, Observability, Span
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..core.runtime import Nexus
+
+#: One glyph per phase for the ASCII timeline (index-aligned to PHASES).
+PHASE_GLYPHS: dict[str, str] = dict(zip(PHASES, "im=~?fdh"))
+
+_JSON_KW: dict[str, object] = {"sort_keys": True,
+                               "separators": (",", ":")}
+
+
+def _context_order(spans: _t.Sequence[Span]) -> dict[int, int]:
+    """Renumber context ids densely by first appearance in the span log.
+
+    Context ids are process-global, so a second identical run inside one
+    process sees different raw ids; renumbering restores byte-identical
+    exports for identical workloads.
+    """
+    order: dict[int, int] = {}
+    for span in spans:
+        if span.ctx not in order:
+            order[span.ctx] = len(order) + 1
+    return order
+
+
+def _lane_order(spans: _t.Sequence[Span]) -> dict[tuple[int, str], int]:
+    """Stable thread ids: nexus lane first, then transports by name."""
+    lanes_per_ctx: dict[int, set[str]] = {}
+    for span in spans:
+        lanes_per_ctx.setdefault(span.ctx, set()).add(span.lane)
+    tids: dict[tuple[int, str], int] = {}
+    for ctx, lanes in lanes_per_ctx.items():
+        ordered = ([NEXUS_LANE] if NEXUS_LANE in lanes else []) + sorted(
+            lane for lane in lanes if lane != NEXUS_LANE)
+        for index, lane in enumerate(ordered, start=1):
+            tids[(ctx, lane)] = index
+    return tids
+
+
+def chrome_trace_events(obs: Observability, *, pid_base: int = 0,
+                        context_names: _t.Mapping[int, str] | None = None
+                        ) -> list[dict[str, object]]:
+    """The ``traceEvents`` list for one runtime's span log."""
+    ctx_order = _context_order(obs.spans)
+    lane_tids = _lane_order(obs.spans)
+    events: list[dict[str, object]] = []
+
+    for raw_ctx in ctx_order:
+        pid = pid_base + ctx_order[raw_ctx]
+        name = (context_names or {}).get(raw_ctx, f"context {ctx_order[raw_ctx]}")
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "args": {"name": name}})
+    for (raw_ctx, lane), tid in sorted(
+            lane_tids.items(),
+            key=lambda item: (ctx_order[item[0][0]], item[1])):
+        events.append({"ph": "M", "name": "thread_name",
+                       "pid": pid_base + ctx_order[raw_ctx], "tid": tid,
+                       "args": {"name": lane}})
+
+    for span in obs.spans:
+        end = span.end if span.end is not None else span.start
+        args: dict[str, object] = {"rsr": span.rsr, "span": span.id}
+        if span.parent is not None:
+            args["parent"] = span.parent
+        if span.end is None:
+            args["incomplete"] = True
+        if span.attrs:
+            args.update(span.attrs)
+        events.append({
+            "ph": "X",
+            "name": span.phase,
+            "cat": span.lane,
+            "pid": pid_base + ctx_order[span.ctx],
+            "tid": lane_tids[(span.ctx, span.lane)],
+            "ts": span.start * 1e6,
+            "dur": (end - span.start) * 1e6,
+            "args": args,
+        })
+    return events
+
+
+def to_chrome_trace(obs: Observability, nexus: "Nexus | None" = None
+                    ) -> dict[str, object]:
+    """One runtime's spans + metrics as a Chrome trace-event document.
+
+    The extra top-level ``metrics`` / ``otherData`` keys are ignored by
+    Perfetto but make the artefact self-describing (per-method latency
+    histograms ride along with the spans).
+    """
+    names = None
+    if nexus is not None:
+        names = {ctx_id: ctx.name for ctx_id, ctx in nexus.contexts.items()}
+    return {
+        "displayTimeUnit": "ms",
+        "traceEvents": chrome_trace_events(obs, context_names=names),
+        "metrics": obs.metrics.snapshot(),
+        "otherData": {
+            "rsrs_started": obs.rsrs_started,
+            "rsrs_finished": obs.rsrs_finished,
+            "spans": len(obs.spans),
+            "dropped_spans": obs.dropped_spans,
+        },
+    }
+
+
+def merged_chrome_trace(
+        runs: _t.Sequence[tuple[Observability, "Nexus | None"]]
+        ) -> dict[str, object]:
+    """Merge several runtimes into one document (e.g. a bench sweep).
+
+    Each run's contexts get a disjoint pid block so Perfetto shows the
+    sweep points side by side; metrics nest under per-run keys.
+    """
+    events: list[dict[str, object]] = []
+    metrics: dict[str, object] = {}
+    spans = dropped = started = finished = 0
+    for index, (obs, nexus) in enumerate(runs):
+        names = None
+        if nexus is not None:
+            names = {cid: f"run{index}:{ctx.name}"
+                     for cid, ctx in nexus.contexts.items()}
+        events.extend(chrome_trace_events(
+            obs, pid_base=index * 1000, context_names=names))
+        metrics[f"run{index}"] = obs.metrics.snapshot()
+        spans += len(obs.spans)
+        dropped += obs.dropped_spans
+        started += obs.rsrs_started
+        finished += obs.rsrs_finished
+    return {
+        "displayTimeUnit": "ms",
+        "traceEvents": events,
+        "metrics": metrics,
+        "otherData": {"runs": len(runs), "rsrs_started": started,
+                      "rsrs_finished": finished, "spans": spans,
+                      "dropped_spans": dropped},
+    }
+
+
+def dumps_chrome_trace(document: dict[str, object]) -> str:
+    return json.dumps(document, **_JSON_KW)  # type: ignore[arg-type]
+
+
+def write_chrome_trace(path: str, obs: Observability,
+                       nexus: "Nexus | None" = None) -> None:
+    with open(path, "w") as handle:
+        handle.write(dumps_chrome_trace(to_chrome_trace(obs, nexus)))
+        handle.write("\n")
+
+
+def write_merged_chrome_trace(
+        path: str,
+        runs: _t.Sequence[tuple[Observability, "Nexus | None"]]) -> None:
+    with open(path, "w") as handle:
+        handle.write(dumps_chrome_trace(merged_chrome_trace(runs)))
+        handle.write("\n")
+
+
+# -- JSONL span dump ---------------------------------------------------------
+
+def spans_jsonl(obs: Observability) -> _t.Iterator[str]:
+    """One JSON object per span, in span-id order (no trailing newline)."""
+    ctx_order = _context_order(obs.spans)
+    for span in obs.spans:
+        record: dict[str, object] = {
+            "span": span.id,
+            "rsr": span.rsr,
+            "phase": span.phase,
+            "ctx": ctx_order[span.ctx],
+            "lane": span.lane,
+            "start": span.start,
+            "end": span.end,
+            "parent": span.parent,
+        }
+        if span.attrs:
+            record["attrs"] = span.attrs
+        yield json.dumps(record, **_JSON_KW)  # type: ignore[arg-type]
+
+
+def write_spans_jsonl(path: str, obs: Observability) -> None:
+    with open(path, "w") as handle:
+        for line in spans_jsonl(obs):
+            handle.write(line)
+            handle.write("\n")
+
+
+# -- terminal renderings -----------------------------------------------------
+
+def ascii_timeline(obs: Observability, *, width: int = 72,
+                   max_lanes: int = 24,
+                   context_names: _t.Mapping[int, str] | None = None) -> str:
+    """Span occupancy per (context, lane) row over virtual time.
+
+    Each cell shows the phase glyph of the span covering that instant
+    (later spans win ties); a legend maps glyphs back to phases.  This
+    is the terminal sibling of the Perfetto view — enough to eyeball
+    where an RSR's time went without leaving the shell.
+    """
+    closed = [s for s in obs.spans if s.end is not None]
+    if not closed:
+        return "(no closed spans)"
+    t_lo = min(s.start for s in closed)
+    t_hi = max(_t.cast(float, s.end) for s in closed)
+    span_width = max(t_hi - t_lo, 1e-12)
+
+    ctx_order = _context_order(obs.spans)
+    lane_tids = _lane_order(obs.spans)
+    rows: dict[tuple[int, int], list[str]] = {}
+    row_spans: dict[tuple[int, int], int] = {}
+    for span in closed:
+        key = (ctx_order[span.ctx], lane_tids[(span.ctx, span.lane)])
+        row = rows.get(key)
+        if row is None:
+            if len(rows) >= max_lanes:
+                continue
+            row = [" "] * width
+            rows[key] = row
+        lo = int((span.start - t_lo) / span_width * (width - 1))
+        hi = int((_t.cast(float, span.end) - t_lo) / span_width * (width - 1))
+        glyph = PHASE_GLYPHS.get(span.phase, "?")
+        for cell in range(lo, hi + 1):
+            row[cell] = glyph
+        row_spans[key] = row_spans.get(key, 0) + 1
+
+    labels = {}
+    for span in closed:
+        key = (ctx_order[span.ctx], lane_tids[(span.ctx, span.lane)])
+        if key in rows and key not in labels:
+            name = (context_names or {}).get(span.ctx, f"ctx{key[0]}")
+            labels[key] = f"{name}/{span.lane}"
+    label_width = max(len(label) for label in labels.values())
+
+    lines = [f"timeline t=[{t_lo:.6g}s .. {t_hi:.6g}s] "
+             f"({len(closed)} spans)"]
+    for key in sorted(rows):
+        lines.append(f"{labels[key]:>{label_width}} |{''.join(rows[key])}| "
+                     f"{row_spans[key]}")
+    legend = "  ".join(f"{PHASE_GLYPHS[p]}={p}" for p in PHASES)
+    lines.append(" " * label_width + "  " + legend)
+    skipped = len(lane_tids) - len(rows)
+    if skipped > 0:
+        lines.append(f"  (+{skipped} lanes not shown; "
+                     f"raise max_lanes to include them)")
+    return "\n".join(lines)
+
+
+def histogram_chart(histograms: _t.Mapping[str, Histogram], *,
+                    title: str, width: int = 64, height: int = 12) -> str:
+    """Render labelled histograms as one ASCII chart (count vs bound).
+
+    Built on :func:`repro.util.ascii_chart.render_chart`; each entry of
+    ``histograms`` becomes one series of (bucket upper bound, count).
+    """
+    series_list = []
+    for name in sorted(histograms):
+        buckets = histograms[name].nonzero_buckets()
+        if not buckets:
+            continue
+        series = Series(name, "bucket", "count")
+        for bound, count in buckets:
+            series.add(bound, count)
+        series_list.append(series)
+    if not series_list:
+        return f"{title}: (no samples)"
+    log_x = all(x > 0 for s in series_list for x in s.xs)
+    return render_chart(series_list, title=title, width=width,
+                        height=height, log_x=log_x)
+
+
+def latency_chart(obs: Observability, *, width: int = 64,
+                  height: int = 12) -> str:
+    """Per-method end-to-end RSR latency distribution as an ASCII chart."""
+    histograms: dict[str, Histogram] = {}
+    for _name, labels, metric in obs.metrics.collect("rsr_latency_us"):
+        histograms[dict(labels).get("method", NEXUS_LANE)] = _t.cast(
+            Histogram, metric)
+    return histogram_chart(histograms,
+                           title="RSR end-to-end latency [us] by method",
+                           width=width, height=height)
+
+
+# keep GLYPHS imported name referenced for re-export convenience
+__all__ = [
+    "GLYPHS", "PHASE_GLYPHS", "ascii_timeline", "chrome_trace_events",
+    "dumps_chrome_trace", "histogram_chart", "latency_chart",
+    "merged_chrome_trace", "spans_jsonl", "to_chrome_trace",
+    "write_chrome_trace", "write_merged_chrome_trace", "write_spans_jsonl",
+]

@@ -1,0 +1,214 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The flat :class:`~repro.simnet.trace.Tracer` answers "how many / how
+long in total"; this registry answers *distributional* questions — what
+is the p95 dispatch latency of MPL RSRs, how many messages does a TCP
+poll typically find — which is what the paper's enquiry-function mandate
+("evaluate the effectiveness of automatic selection") actually needs.
+
+Design constraints:
+
+* **Deterministic.**  Metric identity is ``(name, sorted labels)``;
+  iteration order is sorted at snapshot time, so identical runs produce
+  identical snapshots byte for byte.
+* **Fixed buckets.**  Histograms use a fixed upper-bound ladder chosen
+  at creation (defaults suit microsecond latencies), so two runs always
+  agree on bucket boundaries and snapshots merge trivially.
+* **Cheap.**  ``observe``/``inc`` are a bisect plus a few adds; the
+  registry allocates only on first use of a ``(name, labels)`` pair.
+"""
+
+from __future__ import annotations
+
+import bisect
+import typing as _t
+
+#: Default histogram ladder for latencies in microseconds: covers 1 µs
+#: (local dispatch) to 10 s (WAN + heavy skip_poll detection delays).
+LATENCY_BUCKETS_US: tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5, 5e5, 1e6, 1e7,
+)
+
+#: Ladder for small counts (messages found per poll, queue depths).
+COUNT_BUCKETS: tuple[float, ...] = (0.0, 1.0, 2.0, 3.0, 5.0, 10.0,
+                                    20.0, 50.0, 100.0)
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: _t.Mapping[str, object]) -> LabelItems:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict[str, object]:
+        return {"labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value; also tracks the high-water mark."""
+
+    __slots__ = ("name", "labels", "value", "max_value")
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def snapshot(self) -> dict[str, object]:
+        return {"labels": dict(self.labels), "value": self.value,
+                "max": self.max_value}
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts of values ≤ each upper bound.
+
+    ``bounds`` must be strictly increasing; values above the last bound
+    land in an implicit overflow bucket.  Exact ``sum``/``min``/``max``
+    are kept alongside the buckets so means are not quantised.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "count", "total",
+                 "min_value", "max_value")
+
+    def __init__(self, name: str, labels: LabelItems,
+                 bounds: _t.Sequence[float]):
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"histogram bounds must be strictly "
+                             f"increasing, got {bounds!r}")
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)  # +1: overflow
+        self.count = 0
+        self.total = 0.0
+        self.min_value: float | None = None
+        self.max_value: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> float | None:
+        """Upper bound of the bucket containing the q-quantile (an
+        over-estimate, exact for the overflow bucket's max)."""
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for bound, bucket in zip(self.bounds, self.counts):
+            cumulative += bucket
+            if cumulative >= target:
+                return bound
+        return self.max_value
+
+    def nonzero_buckets(self) -> list[tuple[float, int]]:
+        """(upper bound, count) for every populated bucket; the overflow
+        bucket reports the observed maximum as its bound."""
+        out = []
+        for bound, bucket in zip(self.bounds, self.counts):
+            if bucket:
+                out.append((bound, bucket))
+        if self.counts[-1]:
+            out.append((_t.cast(float, self.max_value), self.counts[-1]))
+        return out
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "labels": dict(self.labels),
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min_value,
+            "max": self.max_value,
+        }
+
+
+class MetricsRegistry:
+    """Label-aware registry of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelItems], object] = {}
+
+    def _get(self, kind: type, name: str, labels: dict[str, object],
+             factory: _t.Callable[[], object]) -> object:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r}{dict(key[1])!r} already registered as "
+                f"{type(metric).__name__}, requested {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return _t.cast(Counter, self._get(
+            Counter, name, labels,
+            lambda: Counter(name, _label_key(labels))))
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return _t.cast(Gauge, self._get(
+            Gauge, name, labels,
+            lambda: Gauge(name, _label_key(labels))))
+
+    def histogram(self, name: str,
+                  bounds: _t.Sequence[float] = LATENCY_BUCKETS_US,
+                  **labels: object) -> Histogram:
+        return _t.cast(Histogram, self._get(
+            Histogram, name, labels,
+            lambda: Histogram(name, _label_key(labels), bounds)))
+
+    def collect(self, name: str | None = None
+                ) -> list[tuple[str, LabelItems, object]]:
+        """All metrics (optionally one name), deterministically sorted."""
+        items = [(key[0], key[1], metric)
+                 for key, metric in self._metrics.items()
+                 if name is None or key[0] == name]
+        items.sort(key=lambda item: (item[0], item[1]))
+        return items
+
+    def snapshot(self) -> dict[str, list[dict[str, object]]]:
+        """Plain-dict form of every metric, sorted, for export/report."""
+        out: dict[str, list[dict[str, object]]] = {}
+        for name, _labels, metric in self.collect():
+            out.setdefault(name, []).append(
+                _t.cast("Counter | Gauge | Histogram", metric).snapshot())
+        return out
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<MetricsRegistry metrics={len(self._metrics)}>"

@@ -1,0 +1,255 @@
+"""Span-based RSR lifecycle tracing.
+
+Every remote service request is traced as a tree of *spans*, one per
+lifecycle phase, linked by parent ids and sharing one causal ``rsr`` id:
+
+========== ===============================================================
+phase      covers
+========== ===============================================================
+issue      ``Startpoint.rsr()`` entry until every link's send is handed off
+marshal    header/buffer marshalling (the Nexus send overhead charge)
+enqueue    comm-object send: transport overheads, connect, serialisation
+wire       physical transit: ``sent_at`` until arrival at the destination
+           device (fast transports) or kernel buffer (IP transports)
+poll_detect arrival until the message is picked up for dispatch — the
+           detection latency that ``skip_poll`` trades against poll cost
+forward    forwarding-service hop at a forwarder context (Section 3.3)
+dispatch   receive-side decode + dispatch/receive cost charges
+handler    the registered handler's invocation
+========== ===============================================================
+
+A multicast group send forks one child chain per member; a forwarded
+message chains ``... → poll_detect → forward → enqueue → wire → ...``
+through the forwarder, so the full multi-hop path is one connected tree.
+
+All timestamps come from the deterministic simulation clock and all ids
+from per-:class:`Observability` counters, so identical runs produce
+identical span logs.  When tracing is disabled nothing is allocated:
+messages carry ``trace=None`` and every instrumentation site is a single
+attribute load plus a branch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from .metrics import COUNT_BUCKETS, LATENCY_BUCKETS_US, MetricsRegistry
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..simnet.engine import Simulator
+
+PHASE_ISSUE = "issue"
+PHASE_MARSHAL = "marshal"
+PHASE_ENQUEUE = "enqueue"
+PHASE_WIRE = "wire"
+PHASE_POLL_DETECT = "poll_detect"
+PHASE_FORWARD = "forward"
+PHASE_DISPATCH = "dispatch"
+PHASE_HANDLER = "handler"
+
+#: Lifecycle order (also the rendering order of reports/exports).
+PHASES: tuple[str, ...] = (
+    PHASE_ISSUE, PHASE_MARSHAL, PHASE_ENQUEUE, PHASE_WIRE,
+    PHASE_POLL_DETECT, PHASE_FORWARD, PHASE_DISPATCH, PHASE_HANDLER,
+)
+
+#: Lane used for spans not attributable to one transport.
+NEXUS_LANE = "nexus"
+
+
+@dataclasses.dataclass(slots=True)
+class Span:
+    """One traced interval of one RSR's lifecycle."""
+
+    id: int
+    rsr: int              # causal id shared by every span of one RSR
+    phase: str
+    ctx: int              # context id (chrome-trace "process")
+    lane: str             # transport method or "nexus" ("thread")
+    start: float
+    end: float | None = None
+    parent: int | None = None
+    attrs: dict[str, object] | None = None
+
+    @property
+    def duration(self) -> float | None:
+        return None if self.end is None else self.end - self.start
+
+
+class MessageTrace:
+    """Per-message causal state threaded through the stack.
+
+    Attached to :class:`~repro.transports.base.WireMessage.trace` by the
+    RSR layer; transports and the dispatch path advance it with
+    :meth:`transition`.  Holds the currently open span so each phase's
+    span becomes the parent of the next.
+    """
+
+    __slots__ = ("obs", "rsr", "current", "issued_at", "lane", "hops")
+
+    def __init__(self, obs: "Observability", rsr: int, current: Span | None,
+                 issued_at: float, lane: str = NEXUS_LANE, hops: int = 0):
+        self.obs = obs
+        self.rsr = rsr
+        #: Last span opened for this message (parent of the next phase).
+        self.current = current
+        self.issued_at = issued_at
+        #: Last transport lane this message travelled on.
+        self.lane = lane
+        #: Forwarding hops taken so far.
+        self.hops = hops
+
+    def transition(self, phase: str, ctx: int, lane: str | None = None,
+                   **attrs: object) -> Span | None:
+        """Close the open span (if any) and open the next phase's span."""
+        previous = self.current
+        if (previous is not None and previous.end is None
+                and previous.phase != PHASE_ISSUE):
+            self.obs.close_span(previous)
+        if lane is None:
+            # Receive-side phases render on the context's nexus lane; the
+            # remembered transport lane still labels latency metrics.
+            lane = (NEXUS_LANE if phase in (PHASE_DISPATCH, PHASE_HANDLER,
+                                            PHASE_FORWARD) else self.lane)
+        else:
+            self.lane = lane
+        span = self.obs.open_span(
+            phase, rsr=self.rsr, ctx=ctx, lane=lane,
+            parent=previous.id if previous is not None else None,
+            **attrs,
+        )
+        if span is not None:
+            self.current = span
+        return span
+
+    def fork(self, ctx: int, lane: str, **attrs: object) -> "MessageTrace":
+        """A child trace for a fan-out copy (multicast member delivery).
+
+        The child's first span is a ``wire`` span parented on this
+        trace's open span (which stays open — the caller closes it after
+        the fan-out), so the group send remains one tree.
+        """
+        parent = self.current
+        child = MessageTrace(self.obs, self.rsr, None, self.issued_at,
+                             lane=lane, hops=self.hops)
+        span = self.obs.open_span(
+            PHASE_WIRE, rsr=self.rsr, ctx=ctx, lane=lane,
+            parent=parent.id if parent is not None else None, **attrs)
+        if span is not None:
+            child.current = span
+        return child
+
+    def drop(self, ctx: int = -1) -> None:
+        """Terminate the trace at a message drop."""
+        span = self.current
+        if span is not None and span.end is None:
+            if span.attrs is None:
+                span.attrs = {}
+            span.attrs["dropped"] = True
+            self.obs.close_span(span)
+        self.obs.metrics.counter("rsr_dropped", method=self.lane).inc()
+        self.current = None
+
+    def finish(self, now: float, *, threaded: bool = False) -> None:
+        """Close the final span and record end-to-end latency metrics."""
+        span = self.current
+        if span is not None and span.end is None:
+            if threaded:
+                if span.attrs is None:
+                    span.attrs = {}
+                span.attrs["threaded"] = True
+            self.obs.close_span(span)
+        self.current = None
+        self.obs.rsrs_finished += 1
+        self.obs.metrics.histogram(
+            "rsr_latency_us", LATENCY_BUCKETS_US, method=self.lane,
+        ).observe((now - self.issued_at) * 1e6)
+        if self.hops:
+            self.obs.metrics.counter("rsr_forwarded", method=self.lane).inc()
+
+
+class Observability:
+    """Span log + metrics registry for one runtime.
+
+    Created by :class:`~repro.core.runtime.Nexus` (one per runtime,
+    always present).  With ``enabled=False`` — the default — every entry
+    point is a no-op and no spans or metrics are recorded; the only cost
+    paid on hot paths is an attribute load and a branch.
+    """
+
+    def __init__(self, sim: "Simulator", *, enabled: bool = False,
+                 max_spans: int = 1_000_000):
+        self.sim = sim
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.spans: list[Span] = []
+        #: Spans discarded after hitting ``max_spans`` (never silent:
+        #: surfaced by reports and exports).
+        self.dropped_spans = 0
+        self.rsrs_started = 0
+        self.rsrs_finished = 0
+        self._max_spans = max_spans
+        self._next_span = 1
+        self._next_rsr = 1
+
+    # -- span primitives -----------------------------------------------------
+
+    def open_span(self, phase: str, *, rsr: int = 0, ctx: int = -1,
+                  lane: str = NEXUS_LANE, parent: int | None = None,
+                  **attrs: object) -> Span | None:
+        if not self.enabled:
+            return None
+        if len(self.spans) >= self._max_spans:
+            self.dropped_spans += 1
+            return None
+        span = Span(id=self._next_span, rsr=rsr, phase=phase, ctx=ctx,
+                    lane=lane, start=self.sim.now, parent=parent,
+                    attrs=attrs or None)
+        self._next_span += 1
+        self.spans.append(span)
+        return span
+
+    def close_span(self, span: Span | None) -> None:
+        if span is None:
+            return
+        span.end = self.sim.now
+        self.metrics.histogram(
+            "rsr_phase_us", LATENCY_BUCKETS_US,
+            phase=span.phase, lane=span.lane,
+        ).observe((span.end - span.start) * 1e6)
+
+    # -- RSR lifecycle entry points ------------------------------------------
+
+    def rsr_begin(self, ctx: int, handler: str, links: int) -> Span | None:
+        """Open the root ``issue`` span of a new RSR."""
+        span = self.open_span(PHASE_ISSUE, rsr=self._next_rsr, ctx=ctx,
+                              handler=handler, links=links)
+        if span is not None:
+            self._next_rsr += 1
+            self.rsrs_started += 1
+        return span
+
+    def attach(self, message: object, issue: Span) -> None:
+        """Give ``message`` its own trace chain rooted at ``issue``."""
+        message.trace = MessageTrace(  # type: ignore[attr-defined]
+            self, issue.rsr, issue, issue.start)
+
+    def note_poll_batch(self, method: str, found: int) -> None:
+        """Record how many messages one poll of ``method`` found."""
+        self.metrics.histogram("poll_batch", COUNT_BUCKETS,
+                               method=method).observe(float(found))
+
+    # -- queries -------------------------------------------------------------
+
+    def spans_for_rsr(self, rsr: int) -> list[Span]:
+        return [s for s in self.spans if s.rsr == rsr]
+
+    def phases_for_rsr(self, rsr: int) -> list[str]:
+        """Distinct phases of one RSR, in lifecycle order."""
+        present = {s.phase for s in self.spans if s.rsr == rsr}
+        return [p for p in PHASES if p in present]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Observability enabled={self.enabled} "
+                f"spans={len(self.spans)} rsrs={self.rsrs_started}>")

@@ -1,0 +1,132 @@
+"""Validate a Chrome trace-event export (``python -m repro.obs.validate``).
+
+Checks the structural contract the exporters promise — the subset of the
+trace-event format Perfetto relies on, plus this repo's own guarantees:
+
+* top-level object with a ``traceEvents`` list;
+* every event has ``ph``/``name``/``pid``/``tid``; complete ("X")
+  events also carry numeric ``ts`` and ``dur``;
+* span events carry causal ``args.rsr`` ids, and at least one traced
+  RSR exhibits the four headline phases (marshal, wire, poll_detect,
+  dispatch);
+* the embedded ``metrics`` section contains per-method RSR latency
+  histograms whose bucket counts sum to their sample counts.
+
+Used by the CI smoke job and the test suite; exits non-zero with a
+reason on the first violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import typing as _t
+
+REQUIRED_PHASES = ("marshal", "wire", "poll_detect", "dispatch")
+
+
+class TraceValidationError(ValueError):
+    """The document violates the trace-event contract."""
+
+
+def _fail(reason: str) -> "_t.NoReturn":
+    raise TraceValidationError(reason)
+
+
+def validate_trace_document(document: object) -> dict[str, object]:
+    """Validate one exported document; returns summary statistics."""
+    if not isinstance(document, dict):
+        _fail(f"top level must be an object, got {type(document).__name__}")
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        _fail("traceEvents must be a non-empty list")
+
+    phases_by_rsr: dict[tuple[object, object], set[str]] = {}
+    span_events = 0
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            _fail(f"traceEvents[{index}] is not an object")
+        for field in ("ph", "name", "pid", "tid"):
+            if field not in event:
+                _fail(f"traceEvents[{index}] missing {field!r}")
+        if event["ph"] == "M":
+            continue
+        if event["ph"] != "X":
+            _fail(f"traceEvents[{index}] has unexpected ph={event['ph']!r}")
+        for field in ("ts", "dur"):
+            if not isinstance(event.get(field), (int, float)):
+                _fail(f"traceEvents[{index}].{field} must be numeric")
+        if _t.cast(float, event["dur"]) < 0:
+            _fail(f"traceEvents[{index}] has negative duration")
+        args = event.get("args")
+        if not isinstance(args, dict) or "rsr" not in args:
+            _fail(f"traceEvents[{index}] span lacks args.rsr causal id")
+        span_events += 1
+        # RSR ids are unique within a pid block (one block per run).
+        run_block = _t.cast(int, event["pid"]) // 1000
+        phases_by_rsr.setdefault((run_block, args["rsr"]), set()).add(
+            _t.cast(str, event["name"]))
+
+    if span_events == 0:
+        _fail("no span ('X') events present")
+    full_lifecycles = sum(
+        1 for phases in phases_by_rsr.values()
+        if all(phase in phases for phase in REQUIRED_PHASES))
+    if full_lifecycles == 0:
+        _fail(f"no RSR carries all required phases {REQUIRED_PHASES}")
+
+    metrics = document.get("metrics")
+    if not isinstance(metrics, dict):
+        _fail("metrics section missing")
+    flat: list[_t.Mapping[str, object]] = []
+    stack: list[object] = [metrics]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, dict):
+            if "rsr_latency_us" in node:
+                flat.extend(_t.cast(list, node["rsr_latency_us"]))
+            else:
+                stack.extend(node.values())
+    if not flat:
+        _fail("metrics contain no rsr_latency_us histograms")
+    for snapshot in flat:
+        counts = _t.cast(list, snapshot["counts"])
+        if sum(counts) != snapshot["count"]:
+            _fail("latency histogram bucket counts do not sum to count")
+        if "method" not in _t.cast(dict, snapshot["labels"]):
+            _fail("latency histogram lacks a method label")
+
+    return {
+        "events": len(events),
+        "span_events": span_events,
+        "rsrs": len(phases_by_rsr),
+        "full_lifecycles": full_lifecycles,
+        "latency_histograms": len(flat),
+    }
+
+
+def validate_trace_file(path: str) -> dict[str, object]:
+    with open(path) as handle:
+        document = json.load(handle)
+    return validate_trace_document(document)
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.validate TRACE.json",
+              file=sys.stderr)
+        return 2
+    try:
+        summary = validate_trace_file(argv[0])
+    except (OSError, json.JSONDecodeError, TraceValidationError) as error:
+        print(f"INVALID: {error}", file=sys.stderr)
+        return 1
+    print(f"OK: {summary['span_events']} spans over {summary['rsrs']} RSRs "
+          f"({summary['full_lifecycles']} full lifecycles), "
+          f"{summary['latency_histograms']} latency histograms")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

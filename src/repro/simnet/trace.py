@@ -26,14 +26,23 @@ class TraceRecord:
 class Tracer:
     """Counters + duration accumulators + optional bounded event log."""
 
-    def __init__(self, log_capacity: int = 0):
+    def __init__(self, log_capacity: int | None = 0):
+        """``log_capacity`` controls the event log: 0 (the default)
+        disables it entirely, a positive value keeps the most recent N
+        records, and ``None`` keeps every record (unbounded — opt-in
+        only; the default must never accumulate memory)."""
+        if log_capacity is not None and log_capacity < 0:
+            raise ValueError(f"log_capacity must be >= 0 or None, "
+                             f"got {log_capacity}")
         self.counters: collections.Counter[str] = collections.Counter()
         self.durations: collections.defaultdict[str, float] = collections.defaultdict(float)
         self.log_capacity = log_capacity
+        # maxlen=0 is the zero-capacity sentinel: even if a record() call
+        # slips past the enabled check, the deque discards it in O(1).
         self._log: collections.deque[TraceRecord] = collections.deque(
-            maxlen=log_capacity if log_capacity > 0 else None
+            maxlen=0 if log_capacity == 0 else log_capacity
         )
-        self._log_enabled = log_capacity > 0
+        self._log_enabled = log_capacity != 0
 
     # -- counters ---------------------------------------------------------
 
@@ -56,9 +65,14 @@ class Tracer:
     # -- event log ---------------------------------------------------------
 
     def record(self, time: float, category: str, **detail: object) -> None:
-        """Append a :class:`TraceRecord` if logging is enabled."""
-        if self._log_enabled:
-            self._log.append(TraceRecord(time, category, detail))
+        """Append a :class:`TraceRecord` if logging is enabled.
+
+        Guaranteed cheap when disabled: a single attribute check, no
+        record construction, no allocation beyond the kwargs dict.
+        """
+        if not self._log_enabled:
+            return
+        self._log.append(TraceRecord(time, category, detail))
 
     @property
     def log(self) -> tuple[TraceRecord, ...]:

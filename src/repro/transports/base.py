@@ -36,6 +36,7 @@ from .errors import TransportError
 if _t.TYPE_CHECKING:  # pragma: no cover
     import numpy as np
 
+    from ..obs import MessageTrace, Observability
     from ..simnet.engine import Simulator
     from ..simnet.network import Network
     from ..simnet.node import Host
@@ -103,6 +104,11 @@ class WireMessage:
     sent_at: float = 0.0
     arrived_at: float = 0.0
     headers: dict[str, object] = dataclasses.field(default_factory=dict)
+    #: Observability state (:class:`repro.obs.MessageTrace`); ``None``
+    #: whenever tracing is disabled, so instrumentation sites reduce to
+    #: one attribute load and a branch.
+    trace: "MessageTrace | None" = dataclasses.field(
+        default=None, repr=False, compare=False)
 
     @property
     def age_key(self) -> tuple[float, int]:
@@ -138,6 +144,8 @@ class TransportServices:
         #: Installed by the runtime; carries Nexus-layer cost constants
         #: (drain-overlap factor etc.).
         self.runtime_costs: object | None = None
+        #: Installed by the runtime; the span tracer + metrics registry.
+        self.obs: "Observability | None" = None
 
     def context(self, context_id: int) -> "ContextLike":
         if self.resolve_context is None:
@@ -181,6 +189,7 @@ class Transport(abc.ABC):
         self.messages_sent = 0
         self.bytes_sent = 0
         self.messages_dropped = 0
+        self.bytes_dropped = 0
 
     # -- convenience -------------------------------------------------------
 
@@ -269,6 +278,20 @@ class Transport(abc.ABC):
         tracer = self.services.tracer
         tracer.incr(f"{self.name}.messages_sent")
         tracer.incr(f"{self.name}.bytes_sent", message.nbytes)
+
+    def record_drop(self, message: WireMessage | None = None,
+                    nbytes: int | None = None) -> None:
+        """Account one dropped message (byte-accurate), closing its
+        lifecycle trace if it carries one."""
+        if nbytes is None:
+            nbytes = message.nbytes if message is not None else 0
+        self.messages_dropped += 1
+        self.bytes_dropped += nbytes
+        tracer = self.services.tracer
+        tracer.incr(f"{self.name}.messages_dropped")
+        tracer.incr(f"{self.name}.bytes_dropped", nbytes)
+        if message is not None and message.trace is not None:
+            message.trace.drop()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} sent={self.messages_sent}>"

@@ -49,6 +49,9 @@ class FastTransport(Transport):
         message.method = self.name
         message.sent_at = self.sim.now
         self.record_send(message)
+        if message.trace is not None:
+            message.trace.transition("wire", ctx=local.id, lane=self.name,
+                                     nbytes=message.nbytes)
         destination = self._route(descriptor)
         self.sim.process(
             self._arrive_later(destination, message),
@@ -77,6 +80,10 @@ class FastTransport(Transport):
             ready_at=ready_at,
             foreign_at_arrival=destination.foreign_poll_total,
         ))
+        if message.trace is not None:
+            # Device drain + detection wait both belong to poll_detect.
+            message.trace.transition("poll_detect", ctx=destination.id,
+                                     lane=self.name, ready_at=ready_at)
         notify = getattr(destination, "note_arrival", None)
         if notify is not None:
             notify()

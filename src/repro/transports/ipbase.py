@@ -132,10 +132,12 @@ class IpTransport(Transport):
         finally:
             channel.release()
         self.record_send(message)
+        if message.trace is not None:
+            message.trace.transition("wire", ctx=local.id, lane=self.name,
+                                     nbytes=message.nbytes)
 
         if not self.costs.reliable and self._drop():
-            self.messages_dropped += 1
-            self.services.tracer.incr(f"{self.name}.messages_dropped")
+            self.record_drop(message)
             return
 
         self.sim.process(
@@ -151,6 +153,10 @@ class IpTransport(Transport):
                       latency: float):
         yield self.sim.timeout(latency)
         message.arrived_at = self.sim.now
+        if message.trace is not None:
+            # Kernel-buffer arrival; detection waits for the next poll.
+            message.trace.transition("poll_detect", ctx=destination.id,
+                                     lane=self.name)
         destination.inbox(self.name).put(message)
         notify = getattr(destination, "note_arrival", None)
         if notify is not None:

@@ -97,12 +97,18 @@ class MulticastTransport(IpTransport):
         yield self.sim.timeout(serialization)
         self.record_send(message)
         self.services.tracer.incr("mcast.group_sends")
+        trace = message.trace
+        if trace is not None:
+            # The shared serialisation is the group's wire span; each
+            # member's delivery forks a child chain under it.
+            trace.transition("wire", ctx=local.id, lane=self.name,
+                             group=group, members=len(member_ids))
 
         endpoints = _t.cast(dict, message.headers.get("endpoints", {}))
         for member_id in member_ids:
             destination = self.services.context(member_id)
             if not self.costs.reliable and self._drop():
-                self.messages_dropped += 1
+                self.record_drop(nbytes=message.nbytes)
                 continue
             copy = WireMessage(
                 handler=message.handler,
@@ -116,8 +122,13 @@ class MulticastTransport(IpTransport):
                 sent_at=message.sent_at,
                 headers=dict(message.headers),
             )
+            if trace is not None:
+                copy.trace = trace.fork(ctx=member_id, lane=self.name)
             profile = self.profile_between(local.host, destination.host)
             self.sim.process(
                 self._arrive_later(destination, copy, profile.latency),
                 name=f"mcast:arrive:{message.handler}",
             )
+        if trace is not None and trace.current is not None:
+            trace.obs.close_span(trace.current)
+            trace.current = None

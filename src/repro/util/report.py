@@ -33,12 +33,18 @@ def _context_section(nexus: "Nexus") -> list[str]:
             f"rsrs in {context.rsrs_dispatched}")
         for method in sorted(report.fires):
             skip = report.skip.get(method, 1)
+            hit_rate = report.hit_rates.get(method)
             lines.append(
                 f"    {method:>8}: fired {report.fires[method]:>8} times, "
                 f"{format_time(report.poll_time[method]):>10} polling, "
                 f"{report.messages.get(method, 0):>6} msgs "
-                f"(hit rate {report.hit_rates[method]:.1%}, "
+                f"(hit rate "
+                f"{'n/a' if hit_rate is None else format(hit_rate, '.1%')}, "
                 f"skip_poll {skip})")
+        never_fired = sorted(m for m, rate in report.hit_rates.items()
+                             if rate is None and m not in report.fires)
+        if never_fired:
+            lines.append(f"    never fired: {', '.join(never_fired)}")
     return lines
 
 
@@ -51,10 +57,36 @@ def _transport_section(nexus: "Nexus") -> list[str]:
         lines.append(
             f"  {name:>8}: {transport.messages_sent:>7} messages, "
             f"{format_bytes(transport.bytes_sent):>10} sent"
-            + (f", {transport.messages_dropped} dropped"
+            + (f", {transport.messages_dropped} dropped "
+               f"({format_bytes(transport.bytes_dropped)})"
                if transport.messages_dropped else ""))
     if len(lines) == 1:
         lines.append("  (no traffic)")
+    return lines
+
+
+def _observability_section(nexus: "Nexus") -> list[str]:
+    """Phase breakdown of traced RSR lifecycles (only when observing)."""
+    from ..core.enquiry import latency_report, phase_report
+
+    obs = nexus.obs
+    if not obs.enabled or not obs.spans:
+        return []
+    lines = ["observability:"]
+    lines.append(
+        f"  {len(obs.spans)} spans over {obs.rsrs_started} RSRs "
+        f"({obs.rsrs_finished} delivered"
+        + (f", {obs.dropped_spans} spans dropped at capacity)"
+           if obs.dropped_spans else ")"))
+    for method, stats in sorted(latency_report(nexus).items()):
+        lines.append(
+            f"  end-to-end {method:>8}: n={stats.count:<6} "
+            f"mean {stats.mean_us:8.1f} us  p95 {stats.p95_us:8.1f} us  "
+            f"max {stats.max_us:8.1f} us")
+    for (phase, lane), stats in sorted(phase_report(nexus).items()):
+        lines.append(
+            f"  {phase:>11}/{lane:<8}: n={stats.count:<6} "
+            f"mean {stats.mean_us:8.1f} us  p95 {stats.p95_us:8.1f} us")
     return lines
 
 
@@ -75,6 +107,7 @@ def runtime_report(nexus: "Nexus", *, include_counters: bool = True) -> str:
     ]
     lines += _context_section(nexus)
     lines += _transport_section(nexus)
+    lines += _observability_section(nexus)
     if include_counters:
         lines += _counters_section(nexus)
     return "\n".join(lines)

@@ -55,6 +55,40 @@ def test_link_profile_and_estimate(bed):
     assert 1.0 < estimate < 1.2  # ~1 s serialisation + latency + overheads
 
 
+def test_estimate_matches_cost_model_exactly(bed):
+    nexus = bed.nexus
+    a = nexus.context(bed.hosts_a[0])
+    b = nexus.context(bed.hosts_b[0])
+    sp = a.startpoint_to(b.new_endpoint())
+    sp.ensure_connected(sp.links[0])
+    profile = enquiry.link_profile(a, sp)
+    costs = sp.links[0].comm.transport.costs
+    nbytes = 4096
+    expected = (costs.send_overhead + profile.latency
+                + nbytes / profile.bandwidth + costs.recv_overhead)
+    assert enquiry.estimate_one_way(a, sp, nbytes) == pytest.approx(expected)
+
+
+def test_applicable_methods_empty_for_restricted_remote(bed):
+    """A remote publishing only a method the sender cannot use yields an
+    empty applicability list for that link (selection would fail)."""
+    nexus = bed.nexus
+    a = nexus.context(bed.hosts_a[0])
+    far = nexus.context(bed.hosts_b[0], methods=("local", "mpl"))
+    sp = a.new_startpoint().bind(far.new_endpoint())
+    # mpl is partition-local; the cross-partition link has no usable entry.
+    assert enquiry.applicable_methods(a, sp) == [[]]
+
+
+def test_link_profile_out_of_range_link(bed):
+    nexus = bed.nexus
+    a = nexus.context(bed.hosts_a[0])
+    b = nexus.context(bed.hosts_a[1])
+    sp = a.startpoint_to(b.new_endpoint())
+    with pytest.raises(IndexError):
+        enquiry.link_profile(a, sp, link_index=5)
+
+
 def test_estimate_scales_with_size(bed):
     nexus = bed.nexus
     a = nexus.context(bed.hosts_a[0])
@@ -82,7 +116,27 @@ def test_poll_report(bed):
     assert report.fires["mpl"] == 8
     assert report.fires["tcp"] == 2
     assert report.skip == {"local": 1, "mpl": 1, "tcp": 4}
-    assert report.hit_rates["tcp"] == 0.0  # nothing ever arrived
+    assert report.hit_rates["tcp"] == 0.0  # fired, found nothing
+
+
+def test_poll_report_distinguishes_never_fired_from_empty(bed):
+    """hit_rate None = the method never fired (no data); 0.0 = it fired
+    and found nothing.  A skip_poll high enough that tcp never comes up
+    in 2 cycles exercises the never-fired case."""
+    nexus = bed.nexus
+    ctx = nexus.context(bed.hosts_a[0])
+    ctx.poll_manager.set_skip("tcp", 100)
+
+    def body():
+        for _ in range(2):
+            yield from ctx.poll()
+
+    done = nexus.spawn(body())
+    nexus.run(until=done)
+    report = enquiry.poll_report(ctx)
+    assert report.fires.get("tcp", 0) == 0
+    assert report.hit_rates["tcp"] is None
+    assert report.hit_rates["mpl"] == 0.0
 
 
 def test_transport_report_counts_traffic(bed):
@@ -105,3 +159,15 @@ def test_transport_report_counts_traffic(bed):
     assert report["mpl"]["messages_sent"] == 1
     assert report["mpl"]["bytes_sent"] >= 500
     assert report["tcp"]["messages_sent"] == 0
+    assert report["mpl"]["bytes_dropped"] == 0
+
+
+def test_transport_report_counts_dropped_bytes(bed):
+    nexus = bed.nexus
+    transport = nexus.transports.get("tcp")
+    transport.record_drop(nbytes=700)
+    transport.record_drop(nbytes=300)
+    report = enquiry.transport_report(nexus)
+    assert report["tcp"]["messages_dropped"] == 2
+    assert report["tcp"]["bytes_dropped"] == 1000
+    assert nexus.tracer.count("tcp.bytes_dropped") == 1000

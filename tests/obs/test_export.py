@@ -1,0 +1,132 @@
+"""Tests for the trace exporters and the trace-document validator."""
+
+import json
+
+import pytest
+
+from repro.obs import export
+from repro.obs.validate import TraceValidationError, validate_trace_document
+
+from .test_spans import run_pingpong
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """One traced ping-pong run, shared by the read-only export tests."""
+    bed = run_pingpong()
+    return bed.nexus.obs, bed.nexus
+
+
+class TestChromeTrace:
+    def test_document_passes_the_validator(self, traced):
+        obs, nexus = traced
+        validate_trace_document(export.to_chrome_trace(obs, nexus))
+
+    def test_round_trips_through_json(self, traced):
+        obs, nexus = traced
+        document = export.to_chrome_trace(obs, nexus)
+        assert json.loads(export.dumps_chrome_trace(document)) == document
+
+    def test_metadata_names_every_context_and_lane(self, traced):
+        obs, nexus = traced
+        events = export.chrome_trace_events(obs)
+        pids = {e["pid"] for e in events if e["ph"] == "X"}
+        named = {e["pid"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert pids <= named
+        assert sorted(pids) == list(range(1, len(pids) + 1))  # dense
+
+    def test_events_carry_causal_ids(self, traced):
+        obs, _nexus = traced
+        events = [e for e in export.chrome_trace_events(obs)
+                  if e["ph"] == "X"]
+        assert len(events) == len(obs.spans)
+        for event in events:
+            assert event["args"]["rsr"] >= 1
+            assert event["dur"] >= 0
+
+    def test_context_names_from_nexus(self, traced):
+        obs, nexus = traced
+        events = export.to_chrome_trace(obs, nexus)["traceEvents"]
+        names = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert {"a", "b", "c"} <= names
+
+    def test_write_and_validate_file(self, traced, tmp_path):
+        obs, nexus = traced
+        path = tmp_path / "trace.json"
+        export.write_chrome_trace(str(path), obs, nexus)
+        validate_trace_document(json.loads(path.read_text()))
+
+    def test_merged_trace_separates_runs(self, traced):
+        obs, nexus = traced
+        document = export.merged_chrome_trace([(obs, nexus), (obs, nexus)])
+        validate_trace_document(document)
+        pids = {e["pid"] for e in document["traceEvents"] if e["ph"] == "X"}
+        assert any(pid >= 1000 for pid in pids)
+        assert set(document["metrics"]) == {"run0", "run1"}
+
+
+class TestJsonl:
+    def test_one_valid_record_per_span(self, traced):
+        obs, _nexus = traced
+        lines = list(export.spans_jsonl(obs))
+        assert len(lines) == len(obs.spans)
+        records = [json.loads(line) for line in lines]
+        assert [r["span"] for r in records] == [s.id for s in obs.spans]
+        assert all(r["end"] is not None for r in records)
+
+    def test_write_jsonl(self, traced, tmp_path):
+        obs, _nexus = traced
+        path = tmp_path / "spans.jsonl"
+        export.write_spans_jsonl(str(path), obs)
+        content = path.read_text().splitlines()
+        assert len(content) == len(obs.spans)
+
+
+class TestTerminalRenderings:
+    def test_ascii_timeline(self, traced):
+        obs, _nexus = traced
+        timeline = export.ascii_timeline(obs)
+        assert "timeline t=[" in timeline
+        assert "~=wire" in timeline  # legend
+        assert "/mpl" in timeline and "/tcp" in timeline
+
+    def test_ascii_timeline_empty(self, sim):
+        from repro.obs import Observability
+        assert "no closed spans" in export.ascii_timeline(
+            Observability(sim, enabled=True))
+
+    def test_latency_chart(self, traced):
+        obs, _nexus = traced
+        chart = export.latency_chart(obs)
+        assert "latency" in chart
+        assert "mpl" in chart and "tcp" in chart
+
+
+class TestValidator:
+    def _valid(self, traced):
+        obs, nexus = traced
+        return export.to_chrome_trace(obs, nexus)
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(TraceValidationError):
+            validate_trace_document([])
+
+    def test_rejects_empty_events(self, traced):
+        document = dict(self._valid(traced), traceEvents=[])
+        with pytest.raises(TraceValidationError):
+            validate_trace_document(document)
+
+    def test_rejects_missing_phases(self, traced):
+        document = dict(self._valid(traced))
+        document["traceEvents"] = [
+            e for e in document["traceEvents"]
+            if e["ph"] != "X" or e["name"] != "poll_detect"]
+        with pytest.raises(TraceValidationError, match="poll_detect"):
+            validate_trace_document(document)
+
+    def test_rejects_missing_latency_metrics(self, traced):
+        document = dict(self._valid(traced), metrics={})
+        with pytest.raises(TraceValidationError, match="rsr_latency_us"):
+            validate_trace_document(document)

@@ -1,5 +1,7 @@
 """Tests for the tracer and deterministic random streams."""
 
+import pytest
+
 from repro.simnet import RandomStreams, Tracer
 
 
@@ -29,6 +31,26 @@ class TestTracer:
             tracer.record(float(index), "tick", index=index)
         assert len(tracer.log) == 3
         assert tracer.log[0].time == 7.0
+
+    def test_disabled_log_has_zero_capacity(self):
+        """log_capacity=0 must not allocate an unbounded deque: even a
+        record() that slips past the enabled check is discarded."""
+        tracer = Tracer(log_capacity=0)
+        assert tracer._log.maxlen == 0
+        for index in range(1000):
+            tracer.record(float(index), "tick")
+        assert len(tracer._log) == 0
+
+    def test_unbounded_log_is_explicit_opt_in(self):
+        tracer = Tracer(log_capacity=None)
+        for index in range(100):
+            tracer.record(float(index), "tick")
+        assert len(tracer.log) == 100
+        assert tracer._log.maxlen is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="log_capacity"):
+            Tracer(log_capacity=-1)
 
     def test_records_by_category(self):
         tracer = Tracer(log_capacity=10)
