@@ -12,13 +12,15 @@ from repro.bench import (
     ablation_lightweight_startpoints,
     ablation_mpi_layering,
     ablation_rendezvous,
+    record_ablations,
 )
 
 
-def test_blocking_poll(run_once):
+def test_blocking_poll(run_once, bench_record):
     result = run_once(ablation_blocking_poll)
     print()
     print(result.table.render(1))
+    record_ablations(bench_record, blocking=result)
     # Paper: blocking detection leaves MPL essentially at single-method
     # speed while TCP detection does not suffer.
     assert result.mpl_blocking <= result.mpl_skip20 * 1.05
@@ -26,15 +28,17 @@ def test_blocking_poll(run_once):
     assert result.tcp_blocking <= result.tcp_unified * 1.10
 
 
-def test_mpi_layering(run_once):
+def test_mpi_layering(run_once, bench_record):
     result = run_once(ablation_mpi_layering)
     print(f"\nMPI-on-Nexus layering overhead: {result.overhead * 100:.1f}% "
           f"(paper reports ~6% on the full climate model)")
+    record_ablations(bench_record, layering=result)
     assert 0.0 < result.overhead < 0.15
 
 
-def test_adaptive_skip(run_once):
+def test_adaptive_skip(run_once, bench_record):
     result = run_once(ablation_adaptive_skip)
+    record_ablations(bench_record, adaptive=result)
     print(f"\nadaptive skip_poll: MPL one-way "
           f"{result.adaptive_mpl * 1e6:.1f} us vs best static "
           f"{result.best_static_mpl() * 1e6:.1f} us; final skip values "
@@ -46,8 +50,9 @@ def test_adaptive_skip(run_once):
     assert max(result.final_skips) > 1  # idle TCP pollers backed off
 
 
-def test_lightweight_startpoints(run_once):
+def test_lightweight_startpoints(run_once, bench_record):
     sizes = run_once(ablation_lightweight_startpoints)
+    record_ablations(bench_record, startpoints=sizes)
     print(f"\nstartpoint wire size: full={sizes.full_bytes} B, "
           f"lightweight={sizes.lightweight_bytes} B "
           f"({sizes.saving * 100:.0f}% saving)")
@@ -56,8 +61,9 @@ def test_lightweight_startpoints(run_once):
     assert 20 <= sizes.full_bytes - sizes.lightweight_bytes <= 200
 
 
-def test_rendezvous_protocol(run_once):
+def test_rendezvous_protocol(run_once, bench_record):
     result = run_once(ablation_rendezvous)
+    record_ablations(bench_record, rendezvous=result)
     print(f"\neager vs rendezvous (6 x 512 KB burst, late receiver):")
     print(f"  completion: eager {result.eager_time * 1e3:.1f} ms, "
           f"rendezvous {result.rendezvous_time * 1e3:.1f} ms")

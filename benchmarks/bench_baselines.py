@@ -15,10 +15,11 @@ over all three and checks the structural expectations:
 """
 
 from repro.baselines import run_mixed_workload
+from repro.bench import record_baselines
 from repro.util.records import ResultTable
 
 
-def test_baselines(run_once):
+def test_baselines(run_once, bench_record):
     def drive():
         rows = {}
         rows["p4 (hard-coded, full polling)"] = run_mixed_workload("p4")
@@ -30,6 +31,7 @@ def test_baselines(run_once):
         return rows
 
     rows = run_once(drive)
+    record_baselines(bench_record, rows)
     table = ResultTable("Mixed workload: prior art vs multimethod Nexus",
                         ["ms/round"])
     for label, result in rows.items():

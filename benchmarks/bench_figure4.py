@@ -6,13 +6,14 @@ of microseconds of TCP-polling overhead at 0 bytes; single-method
 converges to raw at large sizes while multimethod stays above.
 """
 
-from repro.bench import check_figure4_shape, figure4
+from repro.bench import check_figure4_shape, figure4, record_figure4
 
 
-def test_figure4(run_once):
+def test_figure4(run_once, bench_record):
     fig = run_once(figure4, 80)
     print()
     print(fig.render())
     print()
     print(fig.render_charts())
+    record_figure4(bench_record, fig)
     check_figure4_shape(fig)

@@ -14,7 +14,7 @@ from repro.mpi import MPIWorld
 from repro.simnet import Simulator, Store
 
 
-def test_engine_event_throughput(benchmark):
+def test_engine_event_throughput(benchmark, bench_record):
     """Raw engine throughput: timeout-chain of 20k events."""
 
     def run():
@@ -29,6 +29,8 @@ def test_engine_event_throughput(benchmark):
         return sim.events_processed
 
     events = benchmark(run)
+    bench_record.add("microkernels", "engine_chain.sim_events", events,
+                     unit="events", kind="count")
     assert events >= 10_000
 
 
@@ -77,8 +79,9 @@ def test_buffer_packing(benchmark):
     assert benchmark(run) > 0
 
 
-def test_rsr_roundtrip_rate(benchmark):
+def test_rsr_roundtrip_rate(benchmark, bench_record):
     """End-to-end Nexus RSR issue+dispatch rate over the MPL module."""
+    virtual = {}
 
     def run():
         bed = make_sp2(nodes_a=2, nodes_b=0)
@@ -101,13 +104,20 @@ def test_rsr_roundtrip_rate(benchmark):
         done = nexus.spawn(receiver())
         nexus.spawn(sender())
         nexus.run(until=done)
+        virtual["now"] = nexus.now
+        virtual["events"] = nexus.sim.events_processed
         return count["n"]
 
     assert benchmark(run) == 300
+    bench_record.add("microkernels", "rsr_roundtrip.virtual_s",
+                     virtual["now"], unit="s")
+    bench_record.add("microkernels", "rsr_roundtrip.sim_events",
+                     virtual["events"], unit="events", kind="count")
 
 
-def test_mpi_allreduce_rate(benchmark):
+def test_mpi_allreduce_rate(benchmark, bench_record):
     """MPI collective throughput across a 6-rank mixed-transport world."""
+    virtual = {}
 
     def run():
         bed = make_sp2(nodes_a=4, nodes_b=2)
@@ -122,6 +132,9 @@ def test_mpi_allreduce_rate(benchmark):
 
         handles = world.run_spmd(body)
         bed.nexus.run(until=bed.nexus.sim.all_of(handles))
+        virtual["now"] = bed.nexus.now
         return len(totals)
 
     assert benchmark(run) == 60
+    bench_record.add("microkernels", "mpi_allreduce.virtual_s",
+                     virtual["now"], unit="s")

@@ -12,11 +12,31 @@ pytest-benchmark's wall-clock numbers measure the harness itself and use
 a single round to keep the suite fast.
 """
 
+import os
+
 import pytest
+
+from repro.bench.record import BenchRecord
 
 #: One round, one iteration: the simulations are deterministic, so
 #: repeated rounds measure nothing new.
 PEDANTIC = dict(rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Session-wide :class:`BenchRecord` the benchmarks populate with
+    their deterministic scalars (virtual times, sim-event counts).
+
+    Set ``REPRO_BENCH_RECORD=BENCH_pytest.json`` to write it out at
+    session end; without the variable the record is still assembled (so
+    the populate paths run on every benchmark invocation) and discarded.
+    """
+    record = BenchRecord("pytest")
+    yield record
+    path = os.environ.get("REPRO_BENCH_RECORD")
+    if path:
+        record.write(path)
 
 
 @pytest.fixture

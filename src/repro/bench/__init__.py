@@ -17,10 +17,27 @@ Each driver returns :class:`~repro.util.records.Series` /
 paper's row/series format, and provides ``check_shape`` functions with
 the qualitative criteria from DESIGN.md.  The ``benchmarks/`` pytest
 files are thin wrappers over these drivers.
+
+:mod:`repro.bench.record` gives the same numbers a machine-readable
+form: a schema-versioned, byte-deterministic ``BENCH_<label>.json``
+document per run plus the baseline regression gate behind
+``python -m repro.bench --baseline BASE.json --check``.
 """
 
 from .figure4 import figure4, check_figure4_shape
 from .figure6 import figure6, check_figure6_shape
+from .record import (
+    BenchRecord,
+    compare_records,
+    load_record,
+    record_ablations,
+    record_baselines,
+    record_figure4,
+    record_figure6,
+    record_observability,
+    record_table1,
+    validate_record_document,
+)
 from .table1 import table1, check_table1_shape
 from .ablations import (
     ablation_adaptive_skip,
@@ -31,6 +48,7 @@ from .ablations import (
 )
 
 __all__ = [
+    "BenchRecord",
     "ablation_adaptive_skip",
     "ablation_blocking_poll",
     "ablation_lightweight_startpoints",
@@ -39,7 +57,16 @@ __all__ = [
     "check_figure4_shape",
     "check_figure6_shape",
     "check_table1_shape",
+    "compare_records",
     "figure4",
     "figure6",
+    "load_record",
+    "record_ablations",
+    "record_baselines",
+    "record_figure4",
+    "record_figure6",
+    "record_observability",
+    "record_table1",
     "table1",
+    "validate_record_document",
 ]

@@ -5,12 +5,21 @@ Usage::
     python -m repro.bench                 # everything
     python -m repro.bench figure4         # one artefact
     python -m repro.bench table1 --quick  # reduced workload sizes
+    python -m repro.bench --quick --record BENCH_quick.json
+    python -m repro.bench --quick --record out.json \\
+        --baseline benchmarks/BENCH_quick_baseline.json --check
+    python -m repro.bench --quick --trace trace.json --profile --flame out.folded
     python -m repro.bench --list
 
 The pytest benchmarks (`pytest benchmarks/ --benchmark-only`) are the
 canonical gate (they also assert the shape criteria); this entry point
-is for interactive exploration and for regenerating EXPERIMENTS.md
-numbers without pytest.
+is for interactive exploration, for regenerating EXPERIMENTS.md numbers
+without pytest, and for the machine-readable telemetry loop: ``--record``
+writes a deterministic :class:`~repro.bench.record.BenchRecord`
+(``BENCH_<label>.json``), ``--baseline/--check`` diff it against a
+stored baseline and exit non-zero on regression, and
+``--profile``/``--flame`` aggregate the traced span log into a hot-path
+table and a collapsed-stack flamegraph export.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ import time
 import typing as _t
 
 from .. import obs as _obs
+from ..util.report import hot_path_report
 from .ablations import (
     ablation_adaptive_skip,
     ablation_blocking_poll,
@@ -30,30 +40,46 @@ from .ablations import (
 )
 from .figure4 import check_figure4_shape, figure4
 from .figure6 import check_figure6_shape, figure6
+from .record import (
+    KIND_WALL,
+    BenchRecord,
+    compare_records,
+    load_record,
+    record_ablations,
+    record_baselines,
+    record_figure4,
+    record_figure6,
+    record_observability,
+    record_table1,
+)
 from .table1 import check_table1_shape, table1
 
 
-def _run_figure4(quick: bool) -> None:
+def _run_figure4(quick: bool, record: BenchRecord | None) -> None:
     fig = figure4(roundtrips=30 if quick else 100)
     print(fig.render())
     print()
     print(fig.render_charts())
+    if record is not None:
+        record_figure4(record, fig)
     if not quick:  # quick runs quantise too coarsely to assert shapes
         check_figure4_shape(fig)
         print("shape: OK")
 
 
-def _run_figure6(quick: bool) -> None:
+def _run_figure6(quick: bool, record: BenchRecord | None) -> None:
     fig = figure6(mpl_roundtrips=150 if quick else 400)
     print(fig.render())
     print()
     print(fig.render_charts())
+    if record is not None:
+        record_figure6(record, fig)
     if not quick:
         check_figure6_shape(fig)
         print("shape: OK")
 
 
-def _run_table1(quick: bool) -> None:
+def _run_table1(quick: bool, record: BenchRecord | None) -> None:
     config = None
     if quick:
         import dataclasses
@@ -62,12 +88,14 @@ def _run_table1(quick: bool) -> None:
         config = dataclasses.replace(ClimateConfig(), steps=2)
     result = table1(config=config)
     print(result.render())
+    if record is not None:
+        record_table1(record, result)
     if not quick:
         check_table1_shape(result)
         print("shape: OK")
 
 
-def _run_ablations(quick: bool) -> None:
+def _run_ablations(quick: bool, record: BenchRecord | None) -> None:
     blocking = ablation_blocking_poll(
         mpl_roundtrips=150 if quick else 400)
     print(blocking.table.render(1))
@@ -88,25 +116,33 @@ def _run_ablations(quick: bool) -> None:
           f"({rendezvous.parked_reduction:.0%} reduction) at "
           f"{(rendezvous.rendezvous_time / rendezvous.eager_time - 1):.0%} "
           "extra completion time")
+    if record is not None:
+        record_ablations(record, blocking=blocking, layering=layering,
+                         adaptive=adaptive, startpoints=sizes,
+                         rendezvous=rendezvous)
 
 
-def _run_baselines(quick: bool) -> None:
+def _run_baselines(quick: bool, record: BenchRecord | None) -> None:
     from ..baselines import run_mixed_workload
     from ..util.records import ResultTable
 
     rounds = 10 if quick else 30
-    table = ResultTable("Prior art vs multimethod Nexus", ["ms/round"])
-    table.add("p4 (hard-coded)",
-              run_mixed_workload("p4", rounds=rounds).time_per_round * 1e3)
-    table.add("pvm (daemon relay)",
-              run_mixed_workload("pvm", rounds=rounds).time_per_round * 1e3)
+    results = {
+        "p4 (hard-coded)": run_mixed_workload("p4", rounds=rounds),
+        "pvm (daemon relay)": run_mixed_workload("pvm", rounds=rounds),
+    }
     for skip in (1, 20):
-        result = run_mixed_workload("nexus", rounds=rounds, skip_poll=skip)
-        table.add(f"nexus skip_poll={skip}", result.time_per_round * 1e3)
+        results[f"nexus skip_poll={skip}"] = run_mixed_workload(
+            "nexus", rounds=rounds, skip_poll=skip)
+    table = ResultTable("Prior art vs multimethod Nexus", ["ms/round"])
+    for label, result in results.items():
+        table.add(label, result.time_per_round * 1e3)
     print(table.render())
+    if record is not None:
+        record_baselines(record, results)
 
 
-ARTEFACTS: dict[str, _t.Callable[[bool], None]] = {
+ARTEFACTS: dict[str, _t.Callable[[bool, BenchRecord | None], None]] = {
     "figure4": _run_figure4,
     "figure6": _run_figure6,
     "table1": _run_table1,
@@ -129,6 +165,24 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="trace every RSR lifecycle and write a "
                              "Chrome trace-event JSON (load in Perfetto)")
+    parser.add_argument("--record", metavar="PATH", default=None,
+                        help="write the run's metrics as a deterministic "
+                             "BENCH record (sorted-key JSON)")
+    parser.add_argument("--record-wall", action="store_true",
+                        help="include advisory wall-clock timings in the "
+                             "record (makes it non-deterministic)")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="diff this run's record against a stored "
+                             "baseline record and print the delta table")
+    parser.add_argument("--check", action="store_true",
+                        help="with --baseline: exit non-zero if any gated "
+                             "metric regressed")
+    parser.add_argument("--profile", action="store_true",
+                        help="trace the run and print the top-N sim-time "
+                             "hot-path table")
+    parser.add_argument("--flame", metavar="PATH", default=None,
+                        help="trace the run and write collapsed-stack "
+                             "output (speedscope / flamegraph.pl)")
     parser.add_argument("--list", action="store_true",
                         help="list artefacts and exit")
     args = parser.parse_args(argv)
@@ -137,23 +191,47 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         for name in ARTEFACTS:
             print(name)
         return 0
+    if args.check and not args.baseline:
+        parser.error("--check requires --baseline")
 
     selected = args.artefacts or list(ARTEFACTS)
     for name in selected:
         if name not in ARTEFACTS:
             parser.error(f"unknown artefact {name!r}; "
                          f"choose from {', '.join(ARTEFACTS)}")
+
+    baseline = None
+    if args.baseline:
+        # Load up front: a missing or corrupt baseline should fail
+        # before minutes of benchmarking, not after.
+        try:
+            baseline = load_record(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    record: BenchRecord | None = None
+    if args.record or args.baseline:
+        record = BenchRecord("quick" if args.quick else "full",
+                             quick=args.quick)
+    tracing = bool(args.trace or args.profile or args.flame)
     collected: list = []
     for name in selected:
         print(f"=== {name} {'(quick)' if args.quick else ''} ===")
-        started = time.time()
-        if args.trace:
+        started = time.perf_counter()
+        if tracing:
             with _obs.collecting() as runs:
-                ARTEFACTS[name](args.quick)
+                ARTEFACTS[name](args.quick, record)
             collected.extend(runs)
+            if record is not None:
+                record_observability(record, name, runs)
         else:
-            ARTEFACTS[name](args.quick)
-        print(f"[{name}: {time.time() - started:.1f}s wall]\n")
+            ARTEFACTS[name](args.quick, record)
+        elapsed = time.perf_counter() - started
+        if record is not None:
+            record.add(name, "wall_s", elapsed, unit="s", kind=KIND_WALL)
+        print(f"[{name}: {elapsed:.1f}s wall]\n")
 
     if args.trace:
         _obs.export.write_merged_chrome_trace(args.trace, collected)
@@ -161,6 +239,25 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         rsrs = sum(obs.rsrs_started for obs, _nexus in collected)
         print(f"trace: {spans} spans over {rsrs} RSRs from "
               f"{len(collected)} runtimes -> {args.trace}")
+    if args.profile or args.flame:
+        profile = _obs.perf.PerfProfile.from_runs(collected)
+        if args.profile:
+            print(hot_path_report(profile))
+        if args.flame:
+            profile.write_collapsed(args.flame)
+            print(f"flame: {len(profile.collapsed_stacks())} stacks "
+                  f"({profile.spans_profiled} spans) -> {args.flame}")
+    if args.record:
+        assert record is not None
+        record.write(args.record, include_wall=args.record_wall)
+        print(f"record: {len(record)} metrics -> {args.record}")
+    if args.baseline:
+        assert record is not None and baseline is not None
+        comparison = compare_records(
+            baseline, record.to_document(include_wall=True))
+        print(comparison.render())
+        if args.check and not comparison.ok:
+            return 1
     return 0
 
 

@@ -1,0 +1,578 @@
+"""Machine-readable benchmark records and the baseline regression gate.
+
+Every artefact driver prints human tables; this module gives the same
+numbers a durable, diffable form.  A :class:`BenchRecord` is a
+schema-versioned document of scalar metrics —
+
+* per-method/per-size one-way latencies (Figures 4 and 6),
+* climate seconds-per-timestep and coupling waits (Table 1),
+* ablation deltas, baseline round times,
+* simulation event counts, and span/RSR counts when tracing is on,
+
+each tagged with a *kind* (``sim`` virtual-time, ``count``, or ``wall``
+clock) and a *direction* (lower/higher is better, or none) — plus an
+environment fingerprint (python version, platform, git SHA, quick/full
+mode).  Serialisation is sorted-key JSON; everything except ``wall``
+metrics is deterministic, so two identical runs write byte-identical
+``BENCH_<label>.json`` files (``wall`` metrics are excluded unless
+explicitly requested).
+
+:func:`compare_records` is the regression gate: it diffs a current
+record against a stored baseline with per-kind tolerance bands — tight
+for deterministic ``sim`` metrics, looser for ``count`` drift, and
+advisory-only for ``wall`` clock — and renders a readable diff table.
+``python -m repro.bench --baseline BASE.json --check`` exits non-zero
+when any gated metric regresses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import platform
+import re
+import subprocess
+import sys
+import typing as _t
+
+from ..util.records import ResultTable
+
+#: Document identity; bump the version on any breaking layout change.
+SCHEMA = "repro.bench.record"
+SCHEMA_VERSION = 1
+
+#: Deterministic virtual-time measurement (gated tightly).
+KIND_SIM = "sim"
+#: Deterministic count (events, bytes, spans; gated loosely).
+KIND_COUNT = "count"
+#: Wall-clock measurement (advisory only — never gates).
+KIND_WALL = "wall"
+KINDS = (KIND_SIM, KIND_COUNT, KIND_WALL)
+
+DIR_LOWER = "lower_is_better"
+DIR_HIGHER = "higher_is_better"
+DIR_NONE = "none"
+DIRECTIONS = (DIR_LOWER, DIR_HIGHER, DIR_NONE)
+
+#: Default gate tolerances per kind (relative).
+SIM_TOLERANCE = 0.01
+COUNT_TOLERANCE = 0.10
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9_.+=-]+")
+
+
+def _slug(text: str) -> str:
+    """A metric-name-safe slug: word characters plus ``. _ + = -``."""
+    return _SLUG_RE.sub("_", text.strip()).strip("_")
+
+
+class RecordValidationError(ValueError):
+    """The document violates the BenchRecord schema."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Metric:
+    """One recorded scalar."""
+
+    value: float
+    unit: str = ""
+    kind: str = KIND_SIM
+    direction: str = DIR_LOWER
+
+    def to_json(self) -> dict[str, object]:
+        return {"value": self.value, "unit": self.unit, "kind": self.kind,
+                "direction": self.direction}
+
+
+def git_sha() -> str:
+    """The current checkout's commit id, or ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=10, check=False)
+    except OSError:
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def environment_fingerprint(*, quick: bool = False) -> dict[str, str]:
+    """Where this record came from (stable within one checkout+machine)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "git_sha": git_sha(),
+        "mode": "quick" if quick else "full",
+    }
+
+
+class BenchRecord:
+    """An accumulating document of benchmark metrics.
+
+    Artefact drivers populate it through the ``record_*`` helpers below;
+    ``python -m repro.bench --record PATH`` writes it out.
+    """
+
+    def __init__(self, label: str = "adhoc", *, quick: bool = False):
+        self.label = label
+        self.quick = quick
+        self.environment = environment_fingerprint(quick=quick)
+        self._artefacts: dict[str, dict[str, Metric]] = {}
+
+    def add(self, artefact: str, name: str, value: float, *,
+            unit: str = "", kind: str = KIND_SIM,
+            direction: str | None = None) -> None:
+        """Record one scalar under ``artefact.name``.
+
+        Re-recording an existing name is an error — records are
+        append-only so a typo cannot silently overwrite a metric.
+        """
+        if kind not in KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"metric {artefact}.{name} is not finite: "
+                             f"{value!r}")
+        if direction is None:
+            direction = DIR_NONE if kind == KIND_COUNT else DIR_LOWER
+        if direction not in DIRECTIONS:
+            raise ValueError(f"unknown metric direction {direction!r}")
+        metrics = self._artefacts.setdefault(_slug(artefact), {})
+        key = _slug(name)
+        if key in metrics:
+            raise ValueError(f"metric {artefact}.{key} recorded twice")
+        metrics[key] = Metric(value=value, unit=unit, kind=kind,
+                              direction=direction)
+
+    def metrics(self, artefact: str) -> dict[str, Metric]:
+        return dict(self._artefacts.get(_slug(artefact), {}))
+
+    def __len__(self) -> int:
+        return sum(len(m) for m in self._artefacts.values())
+
+    def to_document(self, *, include_wall: bool = False
+                    ) -> dict[str, object]:
+        """The JSON-ready document.
+
+        ``wall`` metrics are non-deterministic, so they are left out
+        unless ``include_wall=True`` — the default document is
+        byte-identical across repeated runs of the same code.
+        """
+        artefacts: dict[str, object] = {}
+        for artefact in sorted(self._artefacts):
+            metrics = {
+                name: metric.to_json()
+                for name, metric in sorted(self._artefacts[artefact].items())
+                if include_wall or metric.kind != KIND_WALL
+            }
+            if metrics:
+                artefacts[artefact] = {"metrics": metrics}
+        return {
+            "schema": SCHEMA,
+            "schema_version": SCHEMA_VERSION,
+            "label": self.label,
+            "environment": dict(self.environment),
+            "artefacts": artefacts,
+        }
+
+    def dumps(self, *, include_wall: bool = False) -> str:
+        return json.dumps(self.to_document(include_wall=include_wall),
+                          sort_keys=True, indent=1)
+
+    def write(self, path: str, *, include_wall: bool = False) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.dumps(include_wall=include_wall))
+            handle.write("\n")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<BenchRecord {self.label!r} artefacts="
+                f"{len(self._artefacts)} metrics={len(self)}>")
+
+
+# -- document validation -----------------------------------------------------
+
+def _check(condition: bool, reason: str) -> None:
+    if not condition:
+        raise RecordValidationError(reason)
+
+
+def validate_record_document(document: object) -> dict[str, object]:
+    """Validate one record document; returns summary statistics."""
+    _check(isinstance(document, dict), "top level must be an object")
+    doc = _t.cast(dict, document)
+    _check(doc.get("schema") == SCHEMA,
+           f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+    _check(doc.get("schema_version") == SCHEMA_VERSION,
+           f"unsupported schema_version {doc.get('schema_version')!r}")
+    _check(isinstance(doc.get("label"), str), "label must be a string")
+    environment = doc.get("environment")
+    _check(isinstance(environment, dict), "environment section missing")
+    for field in ("python", "platform", "machine", "git_sha", "mode"):
+        _check(isinstance(_t.cast(dict, environment).get(field), str),
+               f"environment.{field} missing")
+    artefacts = doc.get("artefacts")
+    _check(isinstance(artefacts, dict), "artefacts section missing")
+    metric_count = 0
+    for artefact, body in _t.cast(dict, artefacts).items():
+        _check(isinstance(body, dict)
+               and isinstance(body.get("metrics"), dict),
+               f"artefact {artefact!r} lacks a metrics object")
+        for name, metric in body["metrics"].items():
+            where = f"{artefact}.{name}"
+            _check(isinstance(metric, dict), f"{where} is not an object")
+            value = metric.get("value")
+            _check(isinstance(value, (int, float)) and math.isfinite(value),
+                   f"{where}.value must be a finite number")
+            _check(metric.get("kind") in KINDS,
+                   f"{where}.kind invalid: {metric.get('kind')!r}")
+            _check(metric.get("direction") in DIRECTIONS,
+                   f"{where}.direction invalid: {metric.get('direction')!r}")
+            _check(isinstance(metric.get("unit"), str),
+                   f"{where}.unit must be a string")
+            metric_count += 1
+    return {"artefacts": len(_t.cast(dict, artefacts)),
+            "metrics": metric_count,
+            "mode": _t.cast(dict, environment)["mode"]}
+
+
+def load_record(path: str) -> dict[str, object]:
+    """Load and validate a record file."""
+    with open(path) as handle:
+        document = json.load(handle)
+    validate_record_document(document)
+    return _t.cast(dict, document)
+
+
+# -- regression gate ---------------------------------------------------------
+
+STATUS_OK = "ok"
+STATUS_REGRESSED = "regressed"
+STATUS_IMPROVED = "improved"
+STATUS_CHANGED = "changed"          # direction-less gated metric drifted
+STATUS_MISSING = "missing"          # in baseline, absent from current
+STATUS_NEW = "new"                  # in current, absent from baseline
+STATUS_WALL = "wall (advisory)"
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricDiff:
+    """One metric's baseline-vs-current comparison."""
+
+    artefact: str
+    name: str
+    baseline: float | None
+    current: float | None
+    kind: str
+    direction: str
+    rel_change: float | None
+    status: str
+
+    @property
+    def gates(self) -> bool:
+        """Does this diff fail the gate?"""
+        return self.status in (STATUS_REGRESSED, STATUS_CHANGED,
+                               STATUS_MISSING)
+
+    @property
+    def label(self) -> str:
+        return f"{self.artefact}.{self.name}"
+
+
+@dataclasses.dataclass
+class ComparisonResult:
+    """Everything the gate learned from one baseline/current diff."""
+
+    diffs: list[MetricDiff]
+    warnings: list[str]
+
+    @property
+    def regressions(self) -> list[MetricDiff]:
+        return [diff for diff in self.diffs if diff.gates]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self, *, show_ok: bool = False) -> str:
+        """The diff table plus a one-line verdict."""
+        rows = [diff for diff in self.diffs
+                if show_ok or diff.status != STATUS_OK]
+        lines = list(self.warnings)
+        if rows:
+            table = ResultTable("regression gate: current vs baseline",
+                                ["baseline", "current", "delta %"])
+            for diff in rows:
+                table.add(
+                    diff.label,
+                    float("nan") if diff.baseline is None else diff.baseline,
+                    float("nan") if diff.current is None else diff.current,
+                    (float("nan") if diff.rel_change is None
+                     else 100.0 * diff.rel_change),
+                    note=diff.status,
+                )
+            lines.append(table.render(precision=3))
+        compared = sum(1 for d in self.diffs
+                       if d.status not in (STATUS_MISSING, STATUS_NEW))
+        verdict = (f"gate: {compared} metrics compared, "
+                   f"{len(self.regressions)} regression(s)")
+        if self.ok:
+            verdict += " — OK"
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _flat_metrics(document: dict[str, object]
+                  ) -> dict[tuple[str, str], dict[str, object]]:
+    flat: dict[tuple[str, str], dict[str, object]] = {}
+    for artefact, body in _t.cast(dict, document["artefacts"]).items():
+        for name, metric in body["metrics"].items():
+            flat[(artefact, name)] = metric
+    return flat
+
+
+def _diff_one(artefact: str, name: str, base: dict[str, object],
+              cur: dict[str, object], sim_tolerance: float,
+              count_tolerance: float) -> MetricDiff:
+    base_value = _t.cast(float, base["value"])
+    cur_value = _t.cast(float, cur["value"])
+    kind = _t.cast(str, cur.get("kind", base.get("kind", KIND_SIM)))
+    direction = _t.cast(str, cur.get("direction",
+                                     base.get("direction", DIR_NONE)))
+    if base_value == 0.0:
+        rel = 0.0 if cur_value == 0.0 else math.copysign(math.inf, cur_value)
+    else:
+        rel = (cur_value - base_value) / abs(base_value)
+
+    if kind == KIND_WALL:
+        status = STATUS_WALL if rel != 0.0 else STATUS_OK
+    else:
+        tolerance = (count_tolerance if kind == KIND_COUNT
+                     else sim_tolerance)
+        if direction == DIR_LOWER:
+            status = (STATUS_REGRESSED if rel > tolerance
+                      else STATUS_IMPROVED if rel < -tolerance
+                      else STATUS_OK)
+        elif direction == DIR_HIGHER:
+            status = (STATUS_REGRESSED if rel < -tolerance
+                      else STATUS_IMPROVED if rel > tolerance
+                      else STATUS_OK)
+        else:
+            status = STATUS_CHANGED if abs(rel) > tolerance else STATUS_OK
+    return MetricDiff(artefact=artefact, name=name, baseline=base_value,
+                      current=cur_value, kind=kind, direction=direction,
+                      rel_change=rel, status=status)
+
+
+def compare_records(baseline: dict[str, object], current: dict[str, object],
+                    *, sim_tolerance: float = SIM_TOLERANCE,
+                    count_tolerance: float = COUNT_TOLERANCE
+                    ) -> ComparisonResult:
+    """Diff ``current`` against ``baseline`` with per-kind tolerances.
+
+    Gate semantics:
+
+    * ``sim`` metrics regress when they move past ``sim_tolerance`` in
+      the bad direction (they are deterministic, so any real movement is
+      a code change);
+    * ``count`` metrics (event/span/byte counts) gate at the looser
+      ``count_tolerance`` in either direction — drift means behaviour
+      changed;
+    * ``wall`` metrics never gate (advisory rows only);
+    * a metric present in the baseline but missing from the current
+      record is a regression; artefacts that were not run at all are
+      skipped with a warning (so subset runs stay useful).
+    """
+    warnings: list[str] = []
+    base_env = _t.cast(dict, baseline.get("environment", {}))
+    cur_env = _t.cast(dict, current.get("environment", {}))
+    if base_env.get("mode") != cur_env.get("mode"):
+        warnings.append(
+            f"warning: comparing mode={cur_env.get('mode')!r} against "
+            f"baseline mode={base_env.get('mode')!r} — deltas are not "
+            "meaningful across workload sizes")
+
+    base_flat = _flat_metrics(baseline)
+    cur_flat = _flat_metrics(current)
+    cur_artefacts = {artefact for artefact, _name in cur_flat}
+    skipped = sorted({artefact for artefact, _name in base_flat}
+                     - cur_artefacts)
+    if skipped:
+        warnings.append("warning: baseline artefacts not in this run "
+                        f"(skipped): {', '.join(skipped)}")
+
+    diffs: list[MetricDiff] = []
+    for key in sorted(set(base_flat) | set(cur_flat)):
+        artefact, name = key
+        base = base_flat.get(key)
+        cur = cur_flat.get(key)
+        if base is None:
+            assert cur is not None
+            diffs.append(MetricDiff(
+                artefact=artefact, name=name, baseline=None,
+                current=_t.cast(float, cur["value"]),
+                kind=_t.cast(str, cur["kind"]),
+                direction=_t.cast(str, cur["direction"]),
+                rel_change=None, status=STATUS_NEW))
+        elif cur is None:
+            if artefact in cur_artefacts and _t.cast(
+                    str, base.get("kind")) != KIND_WALL:
+                diffs.append(MetricDiff(
+                    artefact=artefact, name=name,
+                    baseline=_t.cast(float, base["value"]), current=None,
+                    kind=_t.cast(str, base["kind"]),
+                    direction=_t.cast(str, base["direction"]),
+                    rel_change=None, status=STATUS_MISSING))
+        else:
+            diffs.append(_diff_one(artefact, name, base, cur,
+                                   sim_tolerance, count_tolerance))
+    return ComparisonResult(diffs=diffs, warnings=warnings)
+
+
+# -- artefact populate helpers -----------------------------------------------
+#
+# Imported lazily by type only: each helper takes the driver's result
+# object, so record.py never imports the (heavier) driver modules.
+
+def record_figure4(record: BenchRecord, fig) -> None:
+    """Per-series, per-size one-way latencies from a Figure 4 result."""
+    for panel_name, panel in (("small", fig.small), ("large", fig.large)):
+        for series_name in sorted(panel):
+            series = panel[series_name]
+            for size, one_way_us in zip(series.xs, series.ys):
+                record.add(
+                    "figure4",
+                    f"{panel_name}.{_slug(series_name)}."
+                    f"{int(size)}B.one_way_us",
+                    one_way_us, unit="us")
+
+
+def record_figure6(record: BenchRecord, fig) -> None:
+    """Per-size, per-pair, per-skip one-way latencies from Figure 6."""
+    for size in sorted(fig.panels):
+        for pair_name in sorted(fig.panels[size]):
+            series = fig.panels[size][pair_name]
+            for skip, one_way_us in zip(series.xs, series.ys):
+                record.add(
+                    "figure6",
+                    f"{int(size)}B.{_slug(pair_name)}."
+                    f"skip{int(skip)}.one_way_us",
+                    one_way_us, unit="us")
+
+
+def record_table1(record: BenchRecord, table) -> None:
+    """Seconds/step, coupling wait, and sim-event counts per Table 1 row."""
+    for label in sorted(table.results):
+        result = table.results[label]
+        base = _slug(label)
+        record.add("table1", f"{base}.seconds_per_step",
+                   result.seconds_per_step, unit="s")
+        record.add("table1", f"{base}.coupling_wait_s",
+                   result.coupling_wait, unit="s")
+        record.add("table1", f"{base}.sim_events",
+                   result.events_processed, unit="events", kind=KIND_COUNT)
+
+
+def record_ablations(record: BenchRecord, *, blocking=None, layering=None,
+                     adaptive=None, startpoints=None,
+                     rendezvous=None) -> None:
+    """Key deltas from whichever ablation results are provided."""
+    if blocking is not None:
+        for field in ("mpl_unified", "mpl_skip20", "mpl_blocking",
+                      "tcp_unified", "tcp_skip20", "tcp_blocking"):
+            record.add("ablations", f"blocking.{field}_us",
+                       getattr(blocking, field) * 1e6, unit="us")
+    if layering is not None:
+        record.add("ablations", "mpi_layering.overhead_frac",
+                   layering.overhead, unit="frac")
+    if adaptive is not None:
+        record.add("ablations", "adaptive.mpl_one_way_us",
+                   adaptive.adaptive_mpl * 1e6, unit="us")
+        record.add("ablations", "adaptive.tcp_one_way_us",
+                   adaptive.adaptive_tcp * 1e6, unit="us")
+        record.add("ablations", "adaptive.best_static_mpl_us",
+                   adaptive.best_static_mpl() * 1e6, unit="us")
+    if startpoints is not None:
+        record.add("ablations", "startpoint.full_bytes",
+                   startpoints.full_bytes, unit="B", kind=KIND_COUNT,
+                   direction=DIR_LOWER)
+        record.add("ablations", "startpoint.lightweight_bytes",
+                   startpoints.lightweight_bytes, unit="B", kind=KIND_COUNT,
+                   direction=DIR_LOWER)
+        record.add("ablations", "startpoint.saving_frac",
+                   startpoints.saving, unit="frac", direction=DIR_HIGHER)
+    if rendezvous is not None:
+        record.add("ablations", "rendezvous.eager_time_s",
+                   rendezvous.eager_time, unit="s")
+        record.add("ablations", "rendezvous.rendezvous_time_s",
+                   rendezvous.rendezvous_time, unit="s")
+        record.add("ablations", "rendezvous.eager_parked_bytes",
+                   rendezvous.eager_parked_bytes, unit="B", kind=KIND_COUNT,
+                   direction=DIR_LOWER)
+        record.add("ablations", "rendezvous.rendezvous_parked_bytes",
+                   rendezvous.rendezvous_parked_bytes, unit="B",
+                   kind=KIND_COUNT, direction=DIR_LOWER)
+        record.add("ablations", "rendezvous.parked_reduction_frac",
+                   rendezvous.parked_reduction, unit="frac",
+                   direction=DIR_HIGHER)
+
+
+def record_baselines(record: BenchRecord, results: _t.Mapping[str, object]
+                     ) -> None:
+    """ms/round per prior-art system from the mixed workload."""
+    for label in sorted(results):
+        result = _t.cast(_t.Any, results[label])
+        record.add("baselines", f"{_slug(label)}.ms_per_round",
+                   result.time_per_round * 1e3, unit="ms")
+
+
+def record_observability(record: BenchRecord, artefact: str,
+                         runs: _t.Sequence[tuple[_t.Any, _t.Any]]) -> None:
+    """Span/RSR totals for one artefact's traced runtimes."""
+    if not runs:
+        return
+    record.add(artefact, "trace.runtimes", len(runs),
+               unit="runtimes", kind=KIND_COUNT)
+    record.add(artefact, "trace.spans",
+               sum(len(obs.spans) for obs, _nexus in runs),
+               unit="spans", kind=KIND_COUNT)
+    record.add(artefact, "trace.rsrs_started",
+               sum(obs.rsrs_started for obs, _nexus in runs),
+               unit="rsrs", kind=KIND_COUNT)
+    record.add(artefact, "trace.rsrs_finished",
+               sum(obs.rsrs_finished for obs, _nexus in runs),
+               unit="rsrs", kind=KIND_COUNT)
+
+
+__all__ = [
+    "BenchRecord",
+    "COUNT_TOLERANCE",
+    "ComparisonResult",
+    "DIRECTIONS",
+    "DIR_HIGHER",
+    "DIR_LOWER",
+    "DIR_NONE",
+    "KINDS",
+    "KIND_COUNT",
+    "KIND_SIM",
+    "KIND_WALL",
+    "Metric",
+    "MetricDiff",
+    "RecordValidationError",
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "SIM_TOLERANCE",
+    "compare_records",
+    "environment_fingerprint",
+    "git_sha",
+    "load_record",
+    "record_ablations",
+    "record_baselines",
+    "record_figure4",
+    "record_figure6",
+    "record_observability",
+    "record_table1",
+    "validate_record_document",
+]

@@ -31,6 +31,7 @@ import contextlib
 import typing as _t
 
 from . import export  # noqa: F401  (re-exported submodule)
+from . import perf  # noqa: F401  (re-exported submodule)
 from .metrics import (
     COUNT_BUCKETS,
     LATENCY_BUCKETS_US,
@@ -39,6 +40,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .perf import PerfProfile
 from .spans import (
     NEXUS_LANE,
     PHASES,
@@ -106,6 +108,7 @@ __all__ = [
     "NEXUS_LANE",
     "Observability",
     "PHASES",
+    "PerfProfile",
     "Span",
     "collecting",
     "default_observe",

@@ -10,7 +10,10 @@ trace-event format Perfetto relies on, plus this repo's own guarantees:
   RSR exhibits the four headline phases (marshal, wire, poll_detect,
   dispatch);
 * the embedded ``metrics`` section contains per-method RSR latency
-  histograms whose bucket counts sum to their sample counts.
+  histograms whose bucket counts sum to their sample counts;
+* as the one exception, an export that *declares itself empty*
+  (``otherData.spans == 0``, e.g. ``--trace`` over a run that built no
+  Nexus) is valid with no events and no histograms.
 
 Used by the CI smoke job and the test suite; exits non-zero with a
 reason on the first violation.
@@ -38,8 +41,19 @@ def validate_trace_document(document: object) -> dict[str, object]:
     if not isinstance(document, dict):
         _fail(f"top level must be an object, got {type(document).__name__}")
     events = document.get("traceEvents")
-    if not isinstance(events, list) or not events:
-        _fail("traceEvents must be a non-empty list")
+    if not isinstance(events, list):
+        _fail("traceEvents must be a list")
+    if not events:
+        # Valid only for an empty-by-construction export (zero collected
+        # runs / zero spans): the document must say so itself.
+        other = document.get("otherData")
+        if not isinstance(other, dict) or other.get("spans") != 0:
+            _fail("traceEvents empty but otherData does not declare "
+                  "zero spans")
+        if not isinstance(document.get("metrics"), dict):
+            _fail("metrics section missing")
+        return {"events": 0, "span_events": 0, "rsrs": 0,
+                "full_lifecycles": 0, "latency_histograms": 0}
 
     phases_by_rsr: dict[tuple[object, object], set[str]] = {}
     span_events = 0

@@ -90,6 +90,31 @@ def _observability_section(nexus: "Nexus") -> list[str]:
     return lines
 
 
+def hot_path_report(profile, top_n: int = 15) -> str:
+    """Top-N sim-time hot paths of a :class:`repro.obs.perf.PerfProfile`.
+
+    One row per (phase, lane, handler) attribution key, hottest self
+    time first, with the share of total profiled self time — the
+    terminal answer to "which part of the stack owns the virtual time?".
+    """
+    paths = profile.hot_paths()
+    if not paths:
+        return "(no traced spans to profile)"
+    total = sum(path.self_s for path in paths) or 1.0
+    from .records import ResultTable
+
+    table = ResultTable(
+        f"hot paths: top {min(top_n, len(paths))} of {len(paths)} "
+        "(phase/lane [handler]) by self time",
+        ["self ms", "cum ms", "spans", "self %"],
+    )
+    for path in paths[:top_n]:
+        table.add(f"{path.phase}/{path.lane} [{path.handler}]",
+                  path.self_s * 1e3, path.cum_s * 1e3, path.count,
+                  100.0 * path.self_s / total)
+    return table.render(precision=3)
+
+
 def _counters_section(nexus: "Nexus") -> list[str]:
     lines = ["runtime counters:"]
     for key in sorted(nexus.tracer.counters):

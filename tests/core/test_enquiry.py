@@ -171,3 +171,51 @@ def test_transport_report_counts_dropped_bytes(bed):
     assert report["tcp"]["messages_dropped"] == 2
     assert report["tcp"]["bytes_dropped"] == 1000
     assert nexus.tracer.count("tcp.bytes_dropped") == 1000
+
+
+class TestPhaseStatsFromHistogram:
+    """Edge cases of the histogram -> PhaseStats summarisation."""
+
+    def test_empty_histogram_yields_none(self):
+        from repro.obs.metrics import LATENCY_BUCKETS_US, Histogram
+
+        histogram = Histogram("rsr_phase_us", (), LATENCY_BUCKETS_US)
+        assert enquiry.PhaseStats.from_histogram(histogram) is None
+
+    def test_single_sample_quantiles(self):
+        from repro.obs.metrics import LATENCY_BUCKETS_US, Histogram
+
+        histogram = Histogram("rsr_phase_us", (), LATENCY_BUCKETS_US)
+        histogram.observe(37.0)
+        stats = enquiry.PhaseStats.from_histogram(histogram)
+        assert stats is not None
+        assert stats.count == 1
+        assert stats.mean_us == pytest.approx(37.0)
+        assert stats.max_us == pytest.approx(37.0)
+        # Quantiles are bucket upper bounds: 37 us lands in the 50 us
+        # bucket, and with one sample every quantile is that bound.
+        assert stats.p50_us == 50.0
+        assert stats.p95_us == 50.0
+
+    def test_single_overflow_sample_reports_exact_max(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("rsr_phase_us", (), (1.0, 10.0))
+        histogram.observe(123.0)  # beyond the last bound: overflow bucket
+        stats = enquiry.PhaseStats.from_histogram(histogram)
+        assert stats is not None
+        assert stats.p50_us == pytest.approx(123.0)
+        assert stats.p95_us == pytest.approx(123.0)
+        assert stats.max_us == pytest.approx(123.0)
+
+    def test_two_samples_split_quantiles(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("rsr_phase_us", (), (1.0, 10.0, 100.0))
+        histogram.observe(5.0)
+        histogram.observe(50.0)
+        stats = enquiry.PhaseStats.from_histogram(histogram)
+        assert stats is not None
+        assert stats.count == 2
+        assert stats.p50_us == 10.0    # first sample's bucket bound
+        assert stats.p95_us == 100.0   # second sample's bucket bound

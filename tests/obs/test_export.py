@@ -130,3 +130,41 @@ class TestValidator:
         document = dict(self._valid(traced), metrics={})
         with pytest.raises(TraceValidationError, match="rsr_latency_us"):
             validate_trace_document(document)
+
+
+class TestEmptyMergedTrace:
+    """Regression: zero collected runs must still write a valid trace
+    (e.g. ``--trace`` around an artefact that builds no Nexus)."""
+
+    def test_write_zero_runs_produces_valid_document(self, tmp_path):
+        path = tmp_path / "empty.json"
+        export.write_merged_chrome_trace(str(path), [])
+        document = json.loads(path.read_text())
+        summary = validate_trace_document(document)
+        assert summary["span_events"] == 0
+        assert document["traceEvents"] == []
+        assert document["otherData"]["runs"] == 0
+
+    def test_validate_cli_accepts_empty_trace(self, tmp_path):
+        from repro.obs.validate import main as validate_main
+
+        path = tmp_path / "empty.json"
+        export.write_merged_chrome_trace(str(path), [])
+        assert validate_main([str(path)]) == 0
+
+    def test_undeclared_emptiness_still_fails(self):
+        # An empty event list is only valid when the document itself
+        # declares zero spans — arbitrary hollow documents stay invalid.
+        with pytest.raises(TraceValidationError):
+            validate_trace_document({"traceEvents": [], "metrics": {}})
+        with pytest.raises(TraceValidationError):
+            validate_trace_document(
+                {"traceEvents": [], "metrics": {},
+                 "otherData": {"spans": 3}})
+
+    def test_empty_single_run_export_is_valid(self):
+        from repro.obs.spans import Observability
+        from repro.simnet import Simulator
+
+        obs = Observability(Simulator(), enabled=True)
+        validate_trace_document(export.to_chrome_trace(obs))

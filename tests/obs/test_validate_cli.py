@@ -1,0 +1,48 @@
+"""`python -m repro.obs.validate` exercised as a CLI (exit codes)."""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main as bench_main
+from repro.obs.validate import main as validate_main
+
+
+@pytest.fixture(scope="module")
+def fresh_trace(tmp_path_factory):
+    """A trace written by the real ``--trace`` code path."""
+    path = tmp_path_factory.mktemp("trace") / "trace.json"
+    assert bench_main(["baselines", "--quick", "--trace", str(path)]) == 0
+    return path
+
+
+class TestValidateCli:
+    def test_exit_zero_on_fresh_export(self, fresh_trace, capsys):
+        assert validate_main([str(fresh_trace)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("OK:")
+
+    def test_exit_nonzero_on_corrupted_document(self, fresh_trace, tmp_path,
+                                                capsys):
+        document = json.loads(fresh_trace.read_text())
+        for event in document["traceEvents"]:
+            event.get("args", {}).pop("rsr", None)  # break causal ids
+        corrupted = tmp_path / "corrupted.json"
+        corrupted.write_text(json.dumps(document))
+        assert validate_main([str(corrupted)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_exit_nonzero_on_truncated_json(self, fresh_trace, tmp_path,
+                                            capsys):
+        truncated = tmp_path / "truncated.json"
+        truncated.write_text(fresh_trace.read_text()[:100])
+        assert validate_main([str(truncated)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_exit_nonzero_on_missing_file(self, tmp_path, capsys):
+        assert validate_main([str(tmp_path / "absent.json")]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_usage_error(self, capsys):
+        assert validate_main([]) == 2
+        assert "usage" in capsys.readouterr().err
