@@ -56,8 +56,7 @@ def main() -> None:
         values = yield from sink_in.receive_all()
         print(f"sink: received {values}")
 
-    handles = [nexus.spawn(g) for g in (setup(), source(), stage(), sink())]
-    nexus.run(until=nexus.sim.all_of(handles))
+    nexus.run_until(setup(), source(), stage(), sink())
 
     print("\n--- merger: one inport, writers on two transports ---")
     merged_out, merged_in = channel(sink_ctx)
@@ -82,10 +81,8 @@ def main() -> None:
         print(f"  near writer used {state['near'].method}, "
               f"far writer used {state['far'].method}")
 
-    handles = [nexus.spawn(g) for g in (
-        merger_setup(), writer("near", ["n1", "n2", "n3"]),
-        writer("far", ["f1", "f2"]), reader())]
-    nexus.run(until=nexus.sim.all_of(handles))
+    nexus.run_until(merger_setup(), writer("near", ["n1", "n2", "n3"]),
+                    writer("far", ["f1", "f2"]), reader())
 
 
 if __name__ == "__main__":

@@ -14,75 +14,76 @@ a required method, and dynamic `set_method`.
 Run:  python examples/method_selection.py
 """
 
-from repro import Buffer, RequireMethod, make_sp2
-from repro.core import enquiry
+from repro import Buffer, RequireMethod, enquiry, make_sp2
 
 
 def main() -> None:
     bed = make_sp2(nodes_a=2, nodes_b=1)
-    nexus = bed.nexus
+    with bed.nexus as nexus:
+        node1 = nexus.context(bed.hosts_a[0], "node1")   # SP2 partition A
+        node2 = nexus.context(bed.hosts_a[1], "node2")   # SP2 partition A
+        node0 = nexus.context(bed.hosts_b[0], "node0",   # "Ethernet only"
+                              methods=("local", "tcp"))
 
-    node1 = nexus.context(bed.hosts_a[0], "node1")      # SP2 partition A
-    node2 = nexus.context(bed.hosts_a[1], "node2")      # SP2 partition A
-    node0 = nexus.context(bed.hosts_b[0], "node0",      # "Ethernet only"
-                          methods=("local", "tcp"))
+        hits = []
+        node2.register_handler(
+            "ping", lambda ctx, ep, buf: hits.append(buf.get_str()))
 
-    hits = []
-    node2.register_handler("ping",
-                           lambda ctx, ep, buf: hits.append(buf.get_str()))
+        # --- automatic selection at node 0 --------------------------------
+        sp = node0.startpoint_to(node2.new_endpoint())
+        print("descriptor table carried by the startpoint:",
+              sp.links[0].table.methods)
+        sp.ensure_connected(sp.links[0])
+        print(f"at node0 (no MPL available): selected "
+              f"{sp.current_methods()}")
 
-    # --- automatic selection at node 0 --------------------------------
-    sp = node0.startpoint_to(node2.new_endpoint())
-    print("descriptor table carried by the startpoint:",
-          sp.links[0].table.methods)
-    sp.ensure_connected(sp.links[0])
-    print(f"at node0 (no MPL available): selected {sp.current_methods()}")
+        # --- migrate the startpoint to node 1 ------------------------------
+        carried = {}
+        node1.register_handler(
+            "carry", lambda ctx, ep, buf: carried.update(
+                sp=buf.get_startpoint(ctx)))
+        carrier = node0.startpoint_to(node1.new_endpoint())
 
-    # --- migrate the startpoint to node 1 ------------------------------
-    carried = {}
-    node1.register_handler(
-        "carry", lambda ctx, ep, buf: carried.update(
-            sp=buf.get_startpoint(ctx)))
-    carrier = node0.startpoint_to(node1.new_endpoint())
+        def node0_body():
+            yield from carrier.rsr("carry", Buffer().put_startpoint(sp))
+            yield from sp.rsr("ping",
+                              Buffer().put_str("from node0 over TCP"))
 
-    def node0_body():
-        yield from carrier.rsr("carry", Buffer().put_startpoint(sp))
-        yield from sp.rsr("ping", Buffer().put_str("from node0 over TCP"))
+        def node1_body():
+            yield from node1.wait(lambda: "sp" in carried)
+            migrated = carried["sp"]
+            migrated.ensure_connected(migrated.links[0])
+            print(f"at node1 (same partition as node2): selected "
+                  f"{migrated.current_methods()}")
+            yield from migrated.rsr(
+                "ping", Buffer().put_str("from node1 over MPL"))
 
-    def node1_body():
-        yield from node1.wait(lambda: "sp" in carried)
-        migrated = carried["sp"]
-        migrated.ensure_connected(migrated.links[0])
-        print(f"at node1 (same partition as node2): selected "
-              f"{migrated.current_methods()}")
-        yield from migrated.rsr("ping",
-                                Buffer().put_str("from node1 over MPL"))
+        def node2_body():
+            yield from node2.wait(lambda: len(hits) >= 2)
 
-    def node2_body():
-        yield from node2.wait(lambda: len(hits) >= 2)
+        nexus.run_until(node0_body(), node1_body(), node2_body())
+        print("node2 received:", hits)
 
-    done = nexus.spawn(node2_body())
-    nexus.spawn(node1_body())
-    nexus.spawn(node0_body())
-    nexus.run(until=done)
-    print("node2 received:", hits)
+        # --- manual selection ------------------------------------------------
+        print("\nmanual control:")
+        manual = node1.startpoint_to(node2.new_endpoint())
+        manual.links[0].table.promote("tcp")   # user reorders the table
+        manual.ensure_connected(manual.links[0])
+        print(f"  after promoting tcp in the table: "
+              f"{manual.current_methods()}")
+        manual.set_method("mpl")               # dynamic change, new comm
+        print(f"  after set_method('mpl'):          "
+              f"{manual.current_methods()}")
 
-    # --- manual selection --------------------------------------------------
-    print("\nmanual control:")
-    manual = node1.startpoint_to(node2.new_endpoint())
-    manual.links[0].table.promote("tcp")   # user reorders the table
-    manual.ensure_connected(manual.links[0])
-    print(f"  after promoting tcp in the table: {manual.current_methods()}")
-    manual.set_method("mpl")               # dynamic change, new comm object
-    print(f"  after set_method('mpl'):          {manual.current_methods()}")
+        required = node1.startpoint_to(node2.new_endpoint(),
+                                       policy=RequireMethod("tcp"))
+        required.ensure_connected(required.links[0])
+        print(f"  with RequireMethod('tcp'):        "
+              f"{required.current_methods()}")
 
-    required = node1.startpoint_to(node2.new_endpoint(),
-                                   policy=RequireMethod("tcp"))
-    required.ensure_connected(required.links[0])
-    print(f"  with RequireMethod('tcp'):        {required.current_methods()}")
-
-    report = enquiry.poll_report(node2)
-    print(f"\nnode2 polling: {report.cycles} cycles, fires {report.fires}")
+        report = enquiry.report(nexus).polling[node2.id]
+        print(f"\nnode2 polling: {report.cycles} cycles, "
+              f"fires {report.fires}")
 
 
 if __name__ == "__main__":

@@ -47,9 +47,7 @@ def run_transfer(method_name: str | None, layers=None):
     def receiver():
         yield from b.wait(lambda: bool(log))
 
-    done = nexus.spawn(receiver())
-    nexus.spawn(sender())
-    nexus.run(until=done)
+    nexus.run_until(sender(), receiver())
     size, elapsed = log[0]
     transport = nexus.transports.get(method_name or "tcp")
     wire = (transport.carrier.bytes_sent if layers

@@ -8,70 +8,75 @@ the core Nexus workflow:
 2. bind a startpoint to it (the communication link);
 3. issue remote service requests — the method is selected automatically
    (MPL inside a partition, TCP across partitions);
-4. inspect what happened through the enquiry API.
+4. inspect what happened through the one-stop enquiry report.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Buffer, make_sp2
-from repro.core import enquiry
+from repro import Buffer, enquiry, make_sp2
 from repro.util.units import format_time
 
 
 def main() -> None:
     bed = make_sp2(nodes_a=2, nodes_b=1)
-    nexus = bed.nexus
+    with bed.nexus as nexus:
+        # Three address spaces: two in partition A, one in partition B.
+        alice = nexus.context(bed.hosts_a[0], "alice")
+        bob = nexus.context(bed.hosts_a[1], "bob")
+        carol = nexus.context(bed.hosts_b[0], "carol")
 
-    # Three address spaces: two in partition A, one in partition B.
-    alice = nexus.context(bed.hosts_a[0], "alice")
-    bob = nexus.context(bed.hosts_a[1], "bob")
-    carol = nexus.context(bed.hosts_b[0], "carol")
+        received = []
 
-    received = []
+        def greet(ctx, endpoint, buffer):
+            sender = buffer.get_str()
+            value = buffer.get_int()
+            received.append((ctx.name, sender, value, nexus.now))
 
-    def greet(ctx, endpoint, buffer):
-        sender = buffer.get_str()
-        value = buffer.get_int()
-        received.append((ctx.name, sender, value, nexus.now))
+        bob.register_handler("greet", greet)
+        carol.register_handler("greet", greet)
 
-    bob.register_handler("greet", greet)
-    carol.register_handler("greet", greet)
+        # Communication links: alice -> bob (same partition: MPL will
+        # win) and alice -> carol (across partitions: only TCP applies).
+        to_bob = alice.startpoint_to(bob.new_endpoint())
+        to_carol = alice.startpoint_to(carol.new_endpoint())
 
-    # Communication links: alice -> bob (same partition: MPL will win)
-    # and alice -> carol (across partitions: only TCP applies).
-    to_bob = alice.startpoint_to(bob.new_endpoint())
-    to_carol = alice.startpoint_to(carol.new_endpoint())
+        def alice_body():
+            yield from to_bob.rsr("greet",
+                                  Buffer().put_str("alice").put_int(1))
+            yield from to_carol.rsr("greet",
+                                    Buffer().put_str("alice").put_int(2))
 
-    def alice_body():
-        yield from to_bob.rsr("greet",
-                              Buffer().put_str("alice").put_int(1))
-        yield from to_carol.rsr("greet",
-                                Buffer().put_str("alice").put_int(2))
+        def wait_body(ctx):
+            yield from ctx.wait(lambda: any(name == ctx.name
+                                            for name, *_ in received))
 
-    def wait_body(ctx):
-        yield from ctx.wait(lambda: any(name == ctx.name
-                                        for name, *_ in received))
+        nexus.run_until(alice_body(), wait_body(bob), wait_body(carol))
 
-    waiters = [nexus.spawn(wait_body(bob)), nexus.spawn(wait_body(carol))]
-    nexus.spawn(alice_body())
-    nexus.run(until=nexus.sim.all_of(waiters))
+        print("deliveries:")
+        for ctx_name, sender, value, at in sorted(received,
+                                                  key=lambda r: r[3]):
+            print(f"  {sender} -> {ctx_name}: value={value} "
+                  f"at t={format_time(at)}")
 
-    print("deliveries:")
-    for ctx_name, sender, value, at in sorted(received, key=lambda r: r[3]):
-        print(f"  {sender} -> {ctx_name}: value={value} "
-              f"at t={format_time(at)}")
+        print("\nselected methods (automatic, fastest-first):")
+        print(f"  alice->bob:   {enquiry.current_methods(to_bob)}")
+        print(f"  alice->carol: {enquiry.current_methods(to_carol)}")
 
-    print("\nselected methods (automatic, fastest-first):")
-    print(f"  alice->bob:   {enquiry.current_methods(to_bob)}")
-    print(f"  alice->carol: {enquiry.current_methods(to_carol)}")
+        print("\nwhat each link could have used:")
+        print(f"  alice->bob:   "
+              f"{enquiry.applicable_methods(alice, to_bob)[0]}")
+        print(f"  alice->carol: "
+              f"{enquiry.applicable_methods(alice, to_carol)[0]}")
 
-    print("\nwhat each link could have used:")
-    print(f"  alice->bob:   {enquiry.applicable_methods(alice, to_bob)[0]}")
-    print(f"  alice->carol: {enquiry.applicable_methods(alice, to_carol)[0]}")
+        est = enquiry.estimate_one_way(alice, to_bob, 1024)
+        print(f"\nestimated one-way for 1 KB to bob: {format_time(est)}")
 
-    est = enquiry.estimate_one_way(alice, to_bob, 1024)
-    print(f"\nestimated one-way for 1 KB to bob: {format_time(est)}")
-    print(f"transport traffic: {enquiry.transport_report(nexus)}")
+        report = enquiry.report(nexus)
+        print("transport traffic:")
+        for name, stats in report.transports.items():
+            if stats.messages_sent:
+                print(f"  {name}: {stats.messages_sent} messages, "
+                      f"{stats.bytes_sent} bytes")
 
 
 if __name__ == "__main__":

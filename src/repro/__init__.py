@@ -11,22 +11,22 @@ figure and table.
 
 Quick start::
 
-    from repro import make_sp2, Buffer
+    from repro import Buffer, make_sp2
 
     bed = make_sp2(nodes_a=1, nodes_b=1)
-    nexus = bed.nexus
-    a = nexus.context(bed.hosts_a[0], "a")
-    b = nexus.context(bed.hosts_b[0], "b")
+    with bed.nexus as nexus:
+        a = nexus.context(bed.hosts_a[0], "a")
+        b = nexus.context(bed.hosts_b[0], "b")
 
-    b.register_handler("hello", lambda ctx, ep, buf: print(buf.get_str()))
-    sp = a.startpoint_to(b.new_endpoint())
+        b.register_handler("hello",
+                           lambda ctx, ep, buf: print(buf.get_str()))
+        sp = a.startpoint_to(b.new_endpoint())
 
-    def main():
-        yield from sp.rsr("hello", Buffer().put_str("hi over TCP"))
-        yield from a.charge(0.01)
+        def main():
+            yield from sp.rsr("hello", Buffer().put_str("hi over TCP"))
+            yield from a.charge(0.01)
 
-    nexus.spawn(main())
-    nexus.run()
+        nexus.run_until(main())
 
 Layering (bottom to top): :mod:`repro.simnet` (event engine + machine
 model) → :mod:`repro.transports` (communication modules) →
@@ -42,15 +42,24 @@ from .core import (
     CommDescriptorTable,
     Context,
     Endpoint,
+    EnquiryReport,
     FirstApplicable,
     ForwardingService,
+    HealthConfig,
+    HealthReport,
+    NO_RETRY,
     Nexus,
+    NexusError,
     PreferMethod,
     QoSAware,
     RequireMethod,
+    RetryPolicy,
+    SelectionError,
     Startpoint,
+    enquiry,
 )
 from .simnet import (
+    FaultPlan,
     Host,
     LinkProfile,
     Machine,
@@ -59,7 +68,7 @@ from .simnet import (
     Simulator,
 )
 from .testbeds import IWayTestbed, SP2Testbed, make_iway, make_sp2
-from .transports import RuntimeCosts, TransportCosts
+from .transports import DeliveryError, RuntimeCosts, TransportCosts
 
 # Programming-model layers (imported lazily by most users, re-exported
 # for convenience): repro.mpi, repro.rpc, repro.fm, repro.baselines.
@@ -73,27 +82,37 @@ __all__ = [
     "CommDescriptorTable",
     "ConfigError",
     "Context",
+    "DeliveryError",
     "Endpoint",
+    "EnquiryReport",
+    "FaultPlan",
     "FirstApplicable",
     "ForwardingService",
+    "HealthConfig",
+    "HealthReport",
     "Host",
     "IWayTestbed",
     "LinkProfile",
     "Machine",
+    "NO_RETRY",
     "Network",
     "Nexus",
+    "NexusError",
     "Partition",
     "PreferMethod",
     "QoSAware",
     "RequireMethod",
+    "RetryPolicy",
     "RuntimeCosts",
     "SP2Testbed",
+    "SelectionError",
     "Simulator",
     "Startpoint",
     "TransportCosts",
     "__version__",
     "build_world",
     "describe_world",
+    "enquiry",
     "make_iway",
     "make_sp2",
 ]

@@ -7,6 +7,12 @@ of Table 1.
 """
 
 from .atmosphere import Atmosphere
+from .chaos import (
+    CHAOS_TEST_CONFIG,
+    CHAOS_TRANSPORTS,
+    ChaosResult,
+    run_chaos_climate,
+)
 from .config import TEST_CONFIG, ClimateConfig, ClimateMode
 from .coupling import atmo_children, ocean_parent
 from .grid import Slab, gather_global, halo_exchange
@@ -15,6 +21,9 @@ from .ocean import Ocean
 
 __all__ = [
     "Atmosphere",
+    "CHAOS_TEST_CONFIG",
+    "CHAOS_TRANSPORTS",
+    "ChaosResult",
     "ClimateConfig",
     "ClimateMode",
     "ClimateResult",
@@ -25,5 +34,6 @@ __all__ = [
     "gather_global",
     "halo_exchange",
     "ocean_parent",
+    "run_chaos_climate",
     "run_coupled_model",
 ]

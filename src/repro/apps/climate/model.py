@@ -135,13 +135,35 @@ def _small_traffic(proc: MpiProcess, neighbour_world: int,
 def run_coupled_model(cfg: ClimateConfig, mode: ClimateMode, *,
                       skip_poll: int = 1,
                       mpi_config: MpiConfig | None = None,
-                      seed: int = 0) -> ClimateResult:
-    """Run the coupled model in one multimethod configuration."""
+                      seed: int = 0,
+                      transports: _t.Sequence[str] | None = None,
+                      costs: _t.Mapping[str, object] | None = None,
+                      methods: _t.Sequence[str] | None = None,
+                      retry_policy: object | None = None,
+                      health: object | None = None,
+                      on_start: _t.Callable[..., None] | None = None,
+                      on_finish: _t.Callable[..., None] | None = None,
+                      ) -> ClimateResult:
+    """Run the coupled model in one multimethod configuration.
+
+    ``transports``/``costs``/``retry_policy``/``health`` flow through to
+    the testbed's :class:`~repro.core.runtime.Nexus`; ``methods``
+    overrides the per-context method set the mode would pick.  The two
+    hooks frame the simulation itself: ``on_start(bed, contexts)`` fires
+    after every context and MPI process exists but before the clock
+    moves (install fault plans here); ``on_finish(bed, contexts)`` fires
+    once all ranks finish, while the runtime is still inspectable.
+    """
     bed = make_sp2(nodes_a=cfg.atmo_ranks, nodes_b=cfg.ocean_ranks,
-                   seed=seed)
+                   seed=seed,
+                   transports=transports or ("local", "mpl", "tcp"),
+                   costs=costs,  # type: ignore[arg-type]
+                   retry_policy=retry_policy,  # type: ignore[arg-type]
+                   health=health)  # type: ignore[arg-type]
     nexus = bed.nexus
-    methods = (("local", "tcp") if mode is ClimateMode.ALL_TCP
-               else ("local", "mpl", "tcp"))
+    if methods is None:
+        methods = (("local", "tcp") if mode is ClimateMode.ALL_TCP
+                   else ("local", "mpl", "tcp"))
     atmo_ctxs = [nexus.context(h, f"atmo{i}", methods=methods)
                  for i, h in enumerate(bed.hosts_a)]
     ocean_ctxs = [nexus.context(h, f"ocean{i}", methods=methods)
@@ -251,8 +273,11 @@ def run_coupled_model(cfg: ClimateConfig, mode: ClimateMode, *,
     handles += world.run_spmd(atmo_body, ranks=range(cfg.atmo_ranks))
     handles += world.run_spmd(ocean_body,
                               ranks=range(cfg.atmo_ranks, cfg.total_ranks))
-    finished = nexus.sim.all_of(handles)
-    nexus.run(until=finished)
+    if on_start is not None:
+        on_start(bed, contexts)
+    nexus.run_until(*handles)
+    if on_finish is not None:
+        on_finish(bed, contexts)
 
     tcp_poll_time = sum(
         ctx.poll_manager.stats.poll_time.get("tcp", 0.0) for ctx in contexts)

@@ -122,7 +122,7 @@ def run_collab(participants: int = 4, updates: int = 25, *,
     members = [nexus.spawn(member_body(ctx), name=f"collab:{ctx.name}")
                for ctx in contexts[1:]]
     nexus.spawn(presenter_body(), name="collab:presenter")
-    nexus.run(until=nexus.sim.all_of(members))
+    nexus.run_until(*members)
 
     return CollabResult(
         participants=participants,

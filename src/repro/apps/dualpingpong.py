@@ -139,7 +139,7 @@ def dual_pingpong(size: int, skip_poll: int, *,
     nexus.spawn(mpl_side_b(), name="dual-mpl-b")
     nexus.spawn(tcp_side_a(), name="dual-tcp-a")
     nexus.spawn(tcp_side_b(), name="dual-tcp-b")
-    nexus.run(until=done)
+    nexus.run_until(done)
 
     return DualPingPongResult(
         size=size,

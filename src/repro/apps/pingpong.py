@@ -111,7 +111,7 @@ def raw_transport_pingpong(size: int, roundtrips: int, *,
 
     done = nexus.spawn(side_a(), name="raw-pingpong-a")
     nexus.spawn(side_b(), name="raw-pingpong-b")
-    nexus.run(until=done)
+    nexus.run_until(done)
     return PingPongResult(label=f"raw {method}", size=size,
                           roundtrips=roundtrips,
                           elapsed=marks["end"] - marks["start"])
@@ -184,7 +184,7 @@ def nexus_pingpong(size: int, roundtrips: int, *,
 
     done = nexus.spawn(side_a(), name="nexus-pingpong-a")
     nexus.spawn(side_b(), name="nexus-pingpong-b")
-    nexus.run(until=done)
+    nexus.run_until(done)
     return PingPongResult(
         label=label or f"nexus {'+'.join(methods)}",
         size=size, roundtrips=roundtrips,

@@ -186,7 +186,7 @@ def run_satellite(frames: int = 4, *, ny: int = 32, nx: int = 32,
     handles = world.run_spmd(sp2_body)
     handles.append(nexus.spawn(display_pump(), name="display-pump"))
     nexus.spawn(instrument_body(), name="instrument")
-    nexus.run(until=nexus.sim.all_of(handles))
+    nexus.run_until(*handles)
 
     ordered = [results[f] for f in range(frames)]
     return SatelliteResult(

@@ -181,7 +181,7 @@ def run_stream(frames: int = 40, frame_bytes: int = 256 * 1024, *,
 
     send_proc = nexus.spawn(sender(), name="stream-sender")
     nexus.spawn(receiver(), name="stream-ingest")
-    nexus.run(until=send_proc)
+    nexus.run_until(send_proc)
     # Let in-flight frames land.
     drain = nexus.spawn(ingest_ctx.wait(
         lambda: len(records) >= frames), name="stream-drain")

@@ -47,6 +47,7 @@ from .record import (
     load_record,
     record_ablations,
     record_baselines,
+    record_chaos,
     record_figure4,
     record_figure6,
     record_observability,
@@ -142,12 +143,33 @@ def _run_baselines(quick: bool, record: BenchRecord | None) -> None:
         record_baselines(record, results)
 
 
+def _run_chaos(quick: bool, record: BenchRecord | None) -> None:
+    from ..apps.climate import run_chaos_climate
+    from ..util.units import format_time
+
+    result = run_chaos_climate(seed=0)
+    print(f"TCP outage at t={format_time(result.outage_start)} for "
+          f"{format_time(result.outage_duration)} "
+          f"(run lasts {format_time(result.climate.total_time)})")
+    for when, line in result.timeline():
+        print(f"  {format_time(when):>10}  {line}")
+    print(f"recovery: {result.retries} retries, "
+          f"{result.failovers} failovers, {result.probes} probes")
+    if not result.recovered:
+        raise AssertionError("chaos run did not recover TCP")
+    if record is not None:
+        record_chaos(record, result)
+    if not quick:
+        print("shape: OK")
+
+
 ARTEFACTS: dict[str, _t.Callable[[bool, BenchRecord | None], None]] = {
     "figure4": _run_figure4,
     "figure6": _run_figure6,
     "table1": _run_table1,
     "ablations": _run_ablations,
     "baselines": _run_baselines,
+    "chaos": _run_chaos,
 }
 
 

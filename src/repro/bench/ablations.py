@@ -115,7 +115,7 @@ def ablation_mpi_layering(steps: int = 2) -> LayeringAblation:
                 yield from proc.sendrecv(proc.rank, dest, 7, source, 7)
 
         handles = world.run_spmd(body)
-        nexus.run(until=nexus.sim.all_of(handles))
+        nexus.run_until(*handles)
         return nexus.now
 
     return LayeringAblation(
@@ -238,7 +238,7 @@ def ablation_rendezvous(messages: int = 6,
                     yield from proc.recv(source=0)
 
         handles = world.run_spmd(body)
-        nexus.run(until=nexus.sim.all_of(handles))
+        nexus.run_until(*handles)
         return nexus.now, world.process(1).matching.max_unexpected_bytes
 
     eager_time, eager_parked = run(MpiConfig())

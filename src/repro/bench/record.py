@@ -528,6 +528,28 @@ def record_baselines(record: BenchRecord, results: _t.Mapping[str, object]
                    result.time_per_round * 1e3, unit="ms")
 
 
+def record_chaos(record: BenchRecord, chaos) -> None:
+    """Fault arc and recovery counters from a chaos climate result."""
+    record.add("chaos", "baseline_time_s", chaos.baseline_time, unit="s")
+    record.add("chaos", "total_time_s", chaos.climate.total_time, unit="s")
+    record.add("chaos", "seconds_per_step",
+               chaos.climate.seconds_per_step, unit="s")
+    record.add("chaos", "outage_start_s", chaos.outage_start, unit="s",
+               direction=DIR_NONE)
+    record.add("chaos", "outage_duration_s", chaos.outage_duration,
+               unit="s", direction=DIR_NONE)
+    record.add("chaos", "retries", chaos.retries, unit="retries",
+               kind=KIND_COUNT)
+    record.add("chaos", "failovers", chaos.failovers, unit="failovers",
+               kind=KIND_COUNT)
+    record.add("chaos", "probes", chaos.probes, unit="probes",
+               kind=KIND_COUNT)
+    record.add("chaos", "health_events", len(chaos.health.events),
+               unit="events", kind=KIND_COUNT)
+    record.add("chaos", "recovered", float(chaos.recovered), unit="bool",
+               kind=KIND_COUNT, direction=DIR_HIGHER)
+
+
 def record_observability(record: BenchRecord, artefact: str,
                          runs: _t.Sequence[tuple[_t.Any, _t.Any]]) -> None:
     """Span/RSR totals for one artefact's traced runtimes."""
@@ -570,6 +592,7 @@ __all__ = [
     "load_record",
     "record_ablations",
     "record_baselines",
+    "record_chaos",
     "record_figure4",
     "record_figure6",
     "record_observability",

@@ -14,13 +14,20 @@ from .commobject import CommObject
 from .context import Context, Handler
 from .descriptor_table import CommDescriptorTable
 from .endpoint import Endpoint
+from . import enquiry
 from .enquiry import (
+    EnquiryReport,
+    HealthReport,
+    PhaseStats,
     PollReport,
+    TransportStats,
     applicable_methods,
     available_methods,
     current_methods,
     enabled_transports,
     estimate_one_way,
+    health_report,
+    healthy_methods,
     link_profile,
     poll_report,
     transport_report,
@@ -34,7 +41,9 @@ from .errors import (
     SelectionError,
 )
 from .forwarding import ForwardingService
+from .health import HealthConfig, HealthTracker
 from .polling import PollManager, PollStats
+from .retry import NO_RETRY, RetryPolicy
 from .runtime import Nexus
 from .selection import (
     FirstApplicable,
@@ -57,13 +66,19 @@ __all__ = [
     "CommObject",
     "Context",
     "Endpoint",
+    "EnquiryReport",
     "FirstApplicable",
     "ForwardingService",
     "Handler",
     "HandlerError",
+    "HealthConfig",
+    "HealthReport",
+    "HealthTracker",
     "Link",
+    "NO_RETRY",
     "Nexus",
     "NexusError",
+    "PhaseStats",
     "PollManager",
     "PollReport",
     "PollStats",
@@ -71,17 +86,22 @@ __all__ = [
     "PreferMethod",
     "QoSAware",
     "RequireMethod",
+    "RetryPolicy",
     "SelectionError",
     "SelectionPolicy",
     "SiteSecurityPolicy",
     "Startpoint",
+    "TransportStats",
     "WireLink",
     "WireStartpoint",
     "applicable_methods",
     "available_methods",
     "current_methods",
     "enabled_transports",
+    "enquiry",
     "estimate_one_way",
+    "health_report",
+    "healthy_methods",
     "link_profile",
     "method_profile",
     "poll_report",

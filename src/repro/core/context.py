@@ -20,6 +20,7 @@ from .commobject import CommObject, comm_object_key
 from .descriptor_table import CommDescriptorTable
 from .endpoint import Endpoint
 from .errors import HandlerError, NexusError
+from .health import HealthTracker
 from .polling import PollManager
 from .selection import FirstApplicable, SelectionPolicy
 from .startpoint import Startpoint, WireStartpoint
@@ -63,6 +64,8 @@ class Context:
         self.foreign_poll_total: float = 0.0
 
         self.poll_manager = PollManager(self, self._export_table.methods)
+        #: Per-(remote context, method) delivery health (failover ladder).
+        self.health = HealthTracker(nexus.sim, nexus.health_config)
         self._comm_objects: dict[tuple, CommObject] = {}
         self._arrival_waiters: list[Event] = []
         #: Installed by :class:`repro.core.forwarding.ForwardingService`
@@ -143,6 +146,11 @@ class Context:
             else:
                 table = self.nexus.default_table_for(link.context_id)
             startpoint.bind_address(link.context_id, link.endpoint_id, table)
+            # Mobile startpoints carry the sender's health view: methods
+            # it saw down get seeded down here too (a cool-off probe will
+            # re-check them from this side).
+            for method in getattr(link, "down_methods", ()):
+                self.health.mark_down(link.context_id, method)
         self.nexus.tracer.incr("nexus.startpoints_imported")
         return startpoint
 

@@ -92,6 +92,18 @@ class CommDescriptorTable:
     def copy(self) -> "CommDescriptorTable":
         return CommDescriptorTable(self._entries)
 
+    def without(self, methods: _t.Collection[str]) -> "CommDescriptorTable":
+        """A filtered copy excluding ``methods`` (order preserved).
+
+        This is how health-based failover reuses the first-applicable
+        rule: scan the same table minus the methods currently down.
+        Returns ``self`` unchanged when ``methods`` is empty.
+        """
+        if not methods:
+            return self
+        return CommDescriptorTable(
+            d for d in self._entries if d.method not in methods)
+
     # -- wire form -------------------------------------------------------------
 
     @property

@@ -8,12 +8,21 @@ Enquiry functions should also enable programmers to evaluate the
 effectiveness of automatic selection or to tune manual selections."
 
 Everything here is read-only and side-effect free.
+
+The one-stop entry point is :func:`report`: it returns an
+:class:`EnquiryReport` aggregating per-transport traffic, per-context
+polling behaviour, traced phase/latency distributions, and
+failure-recovery health state, with a uniform ``as_dict()`` on every
+report type.  The pre-aggregate names (``poll_report``,
+``transport_report``, ``phase_report``, ``latency_report``,
+``poll_batch_report``) remain as thin deprecation shims.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import typing as _t
+import warnings
 
 from ..simnet.link import LinkProfile
 from .selection import method_profile
@@ -61,6 +70,17 @@ def current_methods(startpoint: "Startpoint") -> list[str | None]:
     return startpoint.current_methods()
 
 
+def healthy_methods(context: "Context",
+                    startpoint: "Startpoint") -> list[list[str]]:
+    """Per link: applicable methods *minus* those the health tracker
+    currently considers down — what failover would actually scan."""
+    health = context.health
+    return [[m for m in methods
+             if m not in health.down_methods(link.context_id)]
+            for methods, link in zip(applicable_methods(context, startpoint),
+                                     startpoint.links)]
+
+
 def link_profile(context: "Context", startpoint: "Startpoint",
                  link_index: int = 0) -> LinkProfile | None:
     """Effective wire profile of one link's current method, if selected."""
@@ -89,6 +109,8 @@ def estimate_one_way(context: "Context", startpoint: "Startpoint",
             + nbytes / profile.bandwidth + costs.recv_overhead)
 
 
+# -- report types (uniform as_dict on every one) ------------------------------
+
 @dataclasses.dataclass(frozen=True)
 class PollReport:
     """Summary of one context's polling behaviour.
@@ -107,40 +129,22 @@ class PollReport:
     skip: dict[str, int]
     idle_fast_forwards: int
 
-
-def poll_report(context: "Context") -> PollReport:
-    """Observable polling statistics (evaluating selection/tuning)."""
-    stats = context.poll_manager.stats
-    polled = list(context.poll_manager.methods)
-    polled += [m for m in stats.fires if m not in polled]
-    return PollReport(
-        context_id=context.id,
-        cycles=stats.cycles,
-        fires=dict(stats.fires),
-        poll_time=dict(stats.poll_time),
-        messages=dict(stats.messages),
-        hit_rates={m: stats.hit_rate(m) for m in polled},
-        skip={m: context.poll_manager.get_skip(m)
-              for m in context.poll_manager.methods},
-        idle_fast_forwards=stats.idle_fast_forwards,
-    )
+    def as_dict(self) -> dict[str, object]:
+        return dataclasses.asdict(self)
 
 
-def transport_report(nexus: "Nexus") -> dict[str, dict[str, int]]:
-    """Per-transport send/drop counters for the whole runtime."""
-    report = {}
-    for name in nexus.transports.names():
-        transport = nexus.transports.get(name)
-        report[name] = {
-            "messages_sent": transport.messages_sent,
-            "bytes_sent": transport.bytes_sent,
-            "messages_dropped": transport.messages_dropped,
-            "bytes_dropped": transport.bytes_dropped,
-        }
-    return report
+@dataclasses.dataclass(frozen=True)
+class TransportStats:
+    """Send/drop counters of one communication module."""
 
+    messages_sent: int
+    bytes_sent: int
+    messages_dropped: int
+    bytes_dropped: int
 
-# -- RSR lifecycle observability (repro.obs) ---------------------------------
+    def as_dict(self) -> dict[str, object]:
+        return dataclasses.asdict(self)
+
 
 @dataclasses.dataclass(frozen=True)
 class PhaseStats:
@@ -162,14 +166,103 @@ class PhaseStats:
                    p95_us=histogram.quantile(0.95),
                    max_us=histogram.max_value)
 
+    def as_dict(self) -> dict[str, object]:
+        return dataclasses.asdict(self)
 
-def phase_report(nexus: "Nexus") -> dict[tuple[str, str], PhaseStats]:
-    """Per-(phase, lane) time distributions of traced RSR lifecycles.
 
-    Answers *where a single RSR's time goes* — marshal vs wire vs
-    poll-detection vs dispatch — per transport lane.  Empty unless the
-    runtime was created with ``observe=True`` and traffic ran.
+@dataclasses.dataclass(frozen=True)
+class HealthReport:
+    """Failure-recovery state across the runtime.
+
+    ``down`` lists every non-UP (context, remote, method) health entry;
+    ``events`` is the merged transition log
+    ``(sim_time, context_id, remote_context_id, method, transition)``
+    with transitions ``down``/``probe``/``probe_failed``/``up``.
     """
+
+    retries: int
+    failovers: int
+    probes: int
+    down: tuple[dict[str, object], ...]
+    events: tuple[tuple[float, int, int, str, str], ...]
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "probes": self.probes,
+            "down": [dict(entry) for entry in self.down],
+            "events": [list(event) for event in self.events],
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class EnquiryReport:
+    """Everything the enquiry API knows about one runtime, in one value.
+
+    ``phases`` is keyed by ``(phase, lane)``; ``polling`` by context id;
+    ``latency``/``poll_batches`` by method.  The traced sections are
+    empty unless the runtime observes (``Nexus(observe=True)``).
+    """
+
+    now: float
+    transports: dict[str, TransportStats]
+    polling: dict[int, PollReport]
+    phases: dict[tuple[str, str], PhaseStats]
+    latency: dict[str, PhaseStats]
+    poll_batches: dict[str, PhaseStats]
+    health: HealthReport
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "now": self.now,
+            "transports": {name: stats.as_dict()
+                           for name, stats in self.transports.items()},
+            "polling": {cid: poll.as_dict()
+                        for cid, poll in self.polling.items()},
+            "phases": {f"{phase}/{lane}": stats.as_dict()
+                       for (phase, lane), stats in self.phases.items()},
+            "latency": {method: stats.as_dict()
+                        for method, stats in self.latency.items()},
+            "poll_batches": {method: stats.as_dict()
+                             for method, stats in self.poll_batches.items()},
+            "health": self.health.as_dict(),
+        }
+
+
+# -- internal builders (shim- and warning-free) -------------------------------
+
+def _build_poll_report(context: "Context") -> PollReport:
+    stats = context.poll_manager.stats
+    polled = list(context.poll_manager.methods)
+    polled += [m for m in stats.fires if m not in polled]
+    return PollReport(
+        context_id=context.id,
+        cycles=stats.cycles,
+        fires=dict(stats.fires),
+        poll_time=dict(stats.poll_time),
+        messages=dict(stats.messages),
+        hit_rates={m: stats.hit_rate(m) for m in polled},
+        skip={m: context.poll_manager.get_skip(m)
+              for m in context.poll_manager.methods},
+        idle_fast_forwards=stats.idle_fast_forwards,
+    )
+
+
+def _build_transport_report(nexus: "Nexus") -> dict[str, TransportStats]:
+    report = {}
+    for name in nexus.transports.names():
+        transport = nexus.transports.get(name)
+        report[name] = TransportStats(
+            messages_sent=transport.messages_sent,
+            bytes_sent=transport.bytes_sent,
+            messages_dropped=transport.messages_dropped,
+            bytes_dropped=transport.bytes_dropped,
+        )
+    return report
+
+
+def _build_phase_report(nexus: "Nexus") -> dict[tuple[str, str], PhaseStats]:
     report: dict[tuple[str, str], PhaseStats] = {}
     for _name, labels, metric in nexus.obs.metrics.collect("rsr_phase_us"):
         stats = PhaseStats.from_histogram(metric)
@@ -179,8 +272,7 @@ def phase_report(nexus: "Nexus") -> dict[tuple[str, str], PhaseStats]:
     return report
 
 
-def latency_report(nexus: "Nexus") -> dict[str, PhaseStats]:
-    """End-to-end RSR latency distribution per final delivery method."""
+def _build_latency_report(nexus: "Nexus") -> dict[str, PhaseStats]:
     report: dict[str, PhaseStats] = {}
     for _name, labels, metric in nexus.obs.metrics.collect("rsr_latency_us"):
         stats = PhaseStats.from_histogram(metric)
@@ -189,12 +281,87 @@ def latency_report(nexus: "Nexus") -> dict[str, PhaseStats]:
     return report
 
 
-def poll_batch_report(nexus: "Nexus") -> dict[str, PhaseStats]:
-    """Messages-found-per-poll distribution per method (the poll-hit
-    histogram behind :class:`PollReport`'s scalar hit rates)."""
+def _build_poll_batch_report(nexus: "Nexus") -> dict[str, PhaseStats]:
     report: dict[str, PhaseStats] = {}
     for _name, labels, metric in nexus.obs.metrics.collect("poll_batch"):
         stats = PhaseStats.from_histogram(metric)
         if stats is not None:
             report[dict(labels)["method"]] = stats
     return report
+
+
+def _build_health_report(nexus: "Nexus") -> HealthReport:
+    counters = nexus.tracer.counters
+    down: list[dict[str, object]] = []
+    events: list[tuple[float, int, int, str, str]] = []
+    for context in nexus.contexts.values():
+        for entry in context.health.snapshot():
+            down.append({"context": context.id, **entry})
+        for (when, remote, method, transition) in context.health.events:
+            events.append((when, context.id, remote, method, transition))
+    events.sort(key=lambda e: (e[0], e[1], e[2], e[3]))
+    return HealthReport(
+        retries=int(counters.get("nexus.rsr_retries", 0)),
+        failovers=int(counters.get("nexus.rsr_failovers", 0)),
+        probes=int(counters.get("nexus.health_probes", 0)),
+        down=tuple(down),
+        events=tuple(events),
+    )
+
+
+def report(nexus: "Nexus") -> EnquiryReport:
+    """The one-stop enquiry aggregate over a whole runtime."""
+    return EnquiryReport(
+        now=nexus.sim.now,
+        transports=_build_transport_report(nexus),
+        polling={context.id: _build_poll_report(context)
+                 for context in nexus.contexts.values()},
+        phases=_build_phase_report(nexus),
+        latency=_build_latency_report(nexus),
+        poll_batches=_build_poll_batch_report(nexus),
+        health=_build_health_report(nexus),
+    )
+
+
+def health_report(nexus: "Nexus") -> HealthReport:
+    """Just the failure-recovery section of :func:`report`."""
+    return _build_health_report(nexus)
+
+
+# -- deprecation shims --------------------------------------------------------
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.core.enquiry.{old}() is deprecated; use {new} instead",
+        DeprecationWarning, stacklevel=3)
+
+
+def poll_report(context: "Context") -> PollReport:
+    """Deprecated: use ``report(nexus).polling[context.id]``."""
+    _deprecated("poll_report", "report(nexus).polling[context.id]")
+    return _build_poll_report(context)
+
+
+def transport_report(nexus: "Nexus") -> dict[str, dict[str, int]]:
+    """Deprecated: use ``report(nexus).transports`` (typed stats)."""
+    _deprecated("transport_report", "report(nexus).transports")
+    return {name: _t.cast("dict[str, int]", stats.as_dict())
+            for name, stats in _build_transport_report(nexus).items()}
+
+
+def phase_report(nexus: "Nexus") -> dict[tuple[str, str], PhaseStats]:
+    """Deprecated: use ``report(nexus).phases``."""
+    _deprecated("phase_report", "report(nexus).phases")
+    return _build_phase_report(nexus)
+
+
+def latency_report(nexus: "Nexus") -> dict[str, PhaseStats]:
+    """Deprecated: use ``report(nexus).latency``."""
+    _deprecated("latency_report", "report(nexus).latency")
+    return _build_latency_report(nexus)
+
+
+def poll_batch_report(nexus: "Nexus") -> dict[str, PhaseStats]:
+    """Deprecated: use ``report(nexus).poll_batches``."""
+    _deprecated("poll_batch_report", "report(nexus).poll_batches")
+    return _build_poll_batch_report(nexus)

@@ -1,0 +1,195 @@
+"""Per-(remote context, method) communication-method health tracking.
+
+The failure-recovery design reuses the paper's selection machinery as a
+degradation ladder: when a method keeps failing towards some remote
+context, the health tracker marks it *down*, the descriptor-table scan
+skips it (so the first-applicable rule picks the next-fastest healthy
+method), and after a cool-off the next send is allowed through as a
+*probe* — success re-enables the method, failure re-downs it instantly.
+
+States per ``(remote context id, method)`` key::
+
+    UP ──(failure_threshold consecutive failures)──▶ DOWN
+    DOWN ──(cool-off elapses; next send is the probe)──▶ PROBE
+    PROBE ──success──▶ UP          PROBE ──failure──▶ DOWN
+
+UP entries are not stored at all, so the tracker costs nothing on the
+happy path; :attr:`HealthTracker.epoch` and
+:attr:`HealthTracker.next_probe_at` let callers cache "everything is
+healthy" decisions with two comparisons.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from .errors import NexusError
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..simnet.engine import Simulator
+
+STATE_DOWN = "down"
+STATE_PROBE = "probe"
+
+
+@dataclasses.dataclass(frozen=True)
+class HealthConfig:
+    """Tuning knobs for method-health tracking.
+
+    ``failure_threshold`` consecutive failures mark a method down;
+    after ``cooloff`` sim-seconds the next send towards the remote is
+    admitted as a probe.
+    """
+
+    failure_threshold: int = 3
+    cooloff: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise NexusError(
+                f"failure_threshold must be >= 1, "
+                f"got {self.failure_threshold!r}")
+        if self.cooloff <= 0:
+            raise NexusError(f"cooloff must be positive, got {self.cooloff!r}")
+
+
+@dataclasses.dataclass
+class _Entry:
+    failures: int = 0
+    state: str = ""  # "" while counting failures below the threshold
+    down_since: float = 0.0
+
+
+class HealthTracker:
+    """Tracks method health for one local context.
+
+    Sparse: only methods with recent failures have entries.  Every state
+    transition bumps :attr:`epoch` and appends a
+    ``(sim_time, remote_context_id, method, transition)`` tuple to
+    :attr:`events` (transitions: ``down``, ``probe``, ``probe_failed``,
+    ``up``).
+    """
+
+    def __init__(self, sim: "Simulator", config: HealthConfig | None = None):
+        self.sim = sim
+        self.config = config or HealthConfig()
+        self._entries: dict[tuple[int, str], _Entry] = {}
+        #: Bumped on every transition; cache "nothing changed" with it.
+        self.epoch = 0
+        #: Earliest sim-time any DOWN method becomes probeable (inf when
+        #: none are down) — the other half of the caching fast path.
+        self.next_probe_at = float("inf")
+        self.events: list[tuple[float, int, str, str]] = []
+
+    def _note(self, remote: int, method: str, transition: str) -> None:
+        self.epoch += 1
+        self.events.append((self.sim.now, remote, method, transition))
+
+    def _recompute_next_probe(self) -> None:
+        self.next_probe_at = min(
+            (entry.down_since + self.config.cooloff
+             for entry in self._entries.values()
+             if entry.state == STATE_DOWN),
+            default=float("inf"))
+
+    # -- recording ---------------------------------------------------------
+
+    def record_failure(self, remote: int, method: str) -> bool:
+        """One failed delivery; returns True if the method just went
+        (or went back) down."""
+        entry = self._entries.setdefault((remote, method), _Entry())
+        entry.failures += 1
+        if entry.state == STATE_PROBE:
+            # A failed probe re-downs the method immediately and restarts
+            # the cool-off from now.
+            entry.state = STATE_DOWN
+            entry.down_since = self.sim.now
+            self._note(remote, method, "probe_failed")
+            self._recompute_next_probe()
+            return True
+        if entry.state != STATE_DOWN \
+                and entry.failures >= self.config.failure_threshold:
+            entry.state = STATE_DOWN
+            entry.down_since = self.sim.now
+            self._note(remote, method, "down")
+            self._recompute_next_probe()
+            return True
+        return False
+
+    def record_success(self, remote: int, method: str) -> None:
+        """One successful delivery; clears the entry (and logs ``up``
+        when it closes a probe)."""
+        entry = self._entries.pop((remote, method), None)
+        if entry is None:
+            return
+        if entry.state == STATE_PROBE:
+            self._note(remote, method, "up")
+            self._recompute_next_probe()
+        elif entry.state == STATE_DOWN:  # pragma: no cover - defensive
+            self._note(remote, method, "up")
+            self._recompute_next_probe()
+        else:
+            # Sub-threshold failure streak broken: no state transition,
+            # but the streak counter resets (epoch unchanged).
+            pass
+
+    def mark_down(self, remote: int, method: str) -> None:
+        """Seed a DOWN entry directly (mobile startpoints import the
+        sender's view of method health this way)."""
+        entry = self._entries.setdefault((remote, method), _Entry())
+        if entry.state == STATE_DOWN:
+            return
+        entry.failures = max(entry.failures, self.config.failure_threshold)
+        entry.state = STATE_DOWN
+        entry.down_since = self.sim.now
+        self._note(remote, method, "down")
+        self._recompute_next_probe()
+
+    # -- queries -----------------------------------------------------------
+
+    def is_down(self, remote: int, method: str) -> bool:
+        """Is the method currently unusable towards ``remote``?
+
+        A DOWN entry whose cool-off has elapsed flips to PROBE here and
+        reports usable — the caller's next send is the probe.
+        """
+        entry = self._entries.get((remote, method))
+        if entry is None or entry.state == STATE_PROBE:
+            return False
+        if entry.state != STATE_DOWN:
+            return False
+        if self.sim.now >= entry.down_since + self.config.cooloff:
+            entry.state = STATE_PROBE
+            self._note(remote, method, "probe")
+            self._recompute_next_probe()
+            return False
+        return True
+
+    def in_probe(self, remote: int, method: str) -> bool:
+        entry = self._entries.get((remote, method))
+        return entry is not None and entry.state == STATE_PROBE
+
+    def down_methods(self, remote: int) -> tuple[str, ...]:
+        """Methods currently down towards ``remote`` (probe transitions
+        applied first, like :meth:`is_down`)."""
+        down = [method for (r, method) in list(self._entries)
+                if r == remote and self.is_down(remote, method)]
+        return tuple(sorted(down))
+
+    def snapshot(self) -> list[dict[str, object]]:
+        """Current non-UP entries (for enquiry reports)."""
+        rows = []
+        for (remote, method), entry in sorted(self._entries.items()):
+            rows.append({
+                "remote": remote,
+                "method": method,
+                "state": entry.state or "degraded",
+                "failures": entry.failures,
+                "down_since": entry.down_since,
+            })
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<HealthTracker entries={len(self._entries)} "
+                f"epoch={self.epoch}>")

@@ -28,9 +28,12 @@ from ..transports.registry import (
     parse_module_spec,
 )
 from ..transports.base import TransportServices
+from ..simnet.events import Event
 from .context import Context
 from .descriptor_table import CommDescriptorTable
 from .errors import NexusError
+from .health import HealthConfig
+from .retry import RetryPolicy
 from .selection import SelectionPolicy
 
 if _t.TYPE_CHECKING:  # pragma: no cover
@@ -63,6 +66,19 @@ class Nexus:
     max_spans:
         Span-log capacity when observing (excess spans are counted as
         dropped, never silently ignored).
+    retry_policy:
+        Per-attempt retry/backoff configuration for the RSR send path
+        (:class:`~repro.core.retry.RetryPolicy`).  The default retries
+        synchronous delivery failures with exponential backoff but sets
+        no attempt timeout.
+    health:
+        Method-health tracking knobs
+        (:class:`~repro.core.health.HealthConfig`): consecutive-failure
+        threshold and probe cool-off.
+
+    ``Nexus`` is also a context manager: ``with Nexus(...) as nexus:``
+    simply scopes the runtime (construction does all setup; nothing to
+    tear down in simulation).
     """
 
     def __init__(self, sim: Simulator | None = None,
@@ -73,7 +89,9 @@ class Nexus:
                  seed: int = 0,
                  trace_log: int = 0,
                  observe: bool | None = None,
-                 max_spans: int = 1_000_000):
+                 max_spans: int = 1_000_000,
+                 retry_policy: RetryPolicy | None = None,
+                 health: HealthConfig | None = None):
         self.sim = sim or Simulator()
         self.network = network or Network(self.sim)
         self.tracer = Tracer(log_capacity=trace_log)
@@ -85,6 +103,8 @@ class Nexus:
         _obs.note_runtime(self.obs, self)
         self.streams = RandomStreams(seed)
         self.runtime_costs = runtime_costs or DEFAULT_RUNTIME_COSTS
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.health_config = health or HealthConfig()
 
         services = TransportServices(
             self.sim, self.network, self.tracer,
@@ -144,6 +164,66 @@ class Nexus:
     def run(self, until: object = None, **kwargs: object):
         """Run the simulation (thin wrapper over :meth:`Simulator.run`)."""
         return self.sim.run(until, **kwargs)  # type: ignore[arg-type]
+
+    def run_until(self, *conditions: object):
+        """Run the simulation until every condition holds.
+
+        Replaces the ``spawn``/``sim.all_of``/``run(until=...)``
+        boilerplate.  Each condition may be:
+
+        * a **generator** — spawned as a process and waited on;
+        * an **event or process** — waited on;
+        * a **zero-argument callable** — a predicate the simulation is
+          stepped until it returns true (raising :class:`NexusError` if
+          the event queue runs dry first).
+
+        With no conditions the simulation runs to completion.  With
+        exactly one event/generator condition its result value is
+        returned; otherwise a list of event results (predicates
+        contribute ``None``).
+        """
+        events: list[Event] = []
+        predicates: list[_t.Callable[[], bool]] = []
+        slots: list[tuple[str, int]] = []
+        for condition in conditions:
+            if isinstance(condition, Event):
+                slots.append(("event", len(events)))
+                events.append(condition)
+            elif hasattr(condition, "send") and hasattr(condition, "throw"):
+                slots.append(("event", len(events)))
+                events.append(self.spawn(_t.cast(_t.Generator, condition)))
+            elif callable(condition):
+                slots.append(("predicate", len(predicates)))
+                predicates.append(
+                    _t.cast(_t.Callable[[], bool], condition))
+            else:
+                raise NexusError(
+                    f"run_until() cannot wait on {condition!r}; pass a "
+                    "generator, an event/process, or a predicate callable"
+                )
+        if not conditions:
+            return self.run()
+        if events:
+            gate = events[0] if len(events) == 1 else self.sim.all_of(events)
+            self.run(until=gate)
+        while predicates and not all(p() for p in predicates):
+            if self.sim.peek() == float("inf"):
+                raise NexusError(
+                    "run_until(): event queue ran dry before every "
+                    "predicate became true"
+                )
+            self.sim.step()
+        results = [events[index].value if kind == "event" else None
+                   for kind, index in slots]
+        if len(conditions) == 1:
+            return results[0]
+        return results
+
+    def __enter__(self) -> "Nexus":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
 
     @property
     def now(self) -> float:

@@ -23,7 +23,9 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
+from ..obs.spans import PHASE_FAILOVER, PHASE_ISSUE, PHASE_PROBE, PHASE_RETRY
 from ..transports.base import Descriptor, WireMessage
+from ..transports.errors import DeliveryError
 from ..transports.multicast import MulticastTransport
 from .buffers import Buffer
 from .commobject import CommObject
@@ -43,12 +45,17 @@ class WireLink:
     context_id: int
     endpoint_id: int
     table_wire: tuple | None  # None for lightweight startpoints
+    #: Methods the sender currently considers down towards the linked
+    #: context — mobile startpoints carry health state between address
+    #: spaces so the importer skips known-bad methods immediately.
+    down_methods: tuple[str, ...] = ()
 
     @property
     def wire_size(self) -> int:
         size = 12  # context id + endpoint id + flags
         if self.table_wire is not None:
             size += CommDescriptorTable.from_wire(self.table_wire).wire_size
+        size += sum(1 + len(method) for method in self.down_methods)
         return size
 
 
@@ -66,7 +73,8 @@ class WireStartpoint:
 class Link:
     """One live startpoint→endpoint connection with its chosen method."""
 
-    __slots__ = ("context_id", "endpoint_id", "table", "comm")
+    __slots__ = ("context_id", "endpoint_id", "table", "comm",
+                 "health_epoch")
 
     def __init__(self, context_id: int, endpoint_id: int,
                  table: CommDescriptorTable):
@@ -76,6 +84,9 @@ class Link:
         #: the owner may reorder/edit it to influence selection.
         self.table = table
         self.comm: CommObject | None = None
+        #: Health-tracker epoch the current method was selected under;
+        #: a mismatch forces re-selection (methods went down or came up).
+        self.health_epoch = -1
 
     @property
     def method(self) -> str | None:
@@ -128,13 +139,47 @@ class Startpoint:
 
     # -- method control ------------------------------------------------------
 
-    def ensure_connected(self, link: Link) -> CommObject:
-        """Select a method for ``link`` (if needed) and return its comm object."""
-        if link.comm is None:
-            policy = self.policy or self.context.selection_policy
-            remote_host = self.context.nexus.context_host(link.context_id)
-            descriptor = policy.select(self.context, link.table, remote_host)
-            link.comm = self.context.comm_object_for(descriptor)
+    def ensure_connected(self, link: Link,
+                         excluded: _t.Collection[str] = ()) -> CommObject:
+        """Select a healthy method for ``link`` and return its comm object.
+
+        The happy path is two comparisons: with a selected method, an
+        unchanged health epoch, and no cool-off expiry pending, the
+        cached comm object is returned untouched.  Otherwise the link's
+        descriptor table is rescanned *minus* down/``excluded`` methods —
+        the paper's first-applicable rule reused as a degradation
+        ladder.  Raises :class:`SelectionError` when no healthy,
+        applicable method remains.
+        """
+        context = self.context
+        health = context.health
+        if (link.comm is not None and not excluded
+                and link.health_epoch == health.epoch
+                and context.nexus.sim.now < health.next_probe_at):
+            return link.comm
+        down = health.down_methods(link.context_id)
+        unavailable = set(down) | set(excluded)
+        table = link.table.without(unavailable)
+        if len(table) == 0:
+            raise SelectionError(
+                f"link to context {link.context_id}: no healthy "
+                f"communication methods left (all of "
+                f"{link.table.methods} are down or failed)"
+            )
+        policy = self.policy or context.selection_policy
+        remote_host = context.nexus.context_host(link.context_id)
+        try:
+            descriptor = policy.select(context, table, remote_host)
+        except SelectionError:
+            if unavailable:
+                raise SelectionError(
+                    f"link to context {link.context_id}: no healthy "
+                    f"communication methods left ({sorted(unavailable)} "
+                    f"down or failed, remainder not applicable)"
+                ) from None
+            raise
+        link.comm = context.comm_object_for(descriptor)
+        link.health_epoch = health.epoch
         return link.comm
 
     def set_method(self, method: str) -> None:
@@ -207,20 +252,163 @@ class Startpoint:
             return
 
         for link in self.links:
-            comm = self.ensure_connected(link)
-            message = WireMessage(
-                handler=handler,
-                endpoint_id=link.endpoint_id,
-                src_context=context.id,
-                dst_context=link.context_id,
-                payload=buffer.reader_copy() if self.is_multicast else buffer,
-                nbytes=nbytes,
-            )
-            if issue is not None:
-                obs.attach(message, issue)
-            yield from comm.send(message)
+            yield from self._send_link(link, handler, buffer, nbytes, issue)
         if issue is not None:
             obs.close_span(issue)
+
+    # -- failure recovery --------------------------------------------------
+
+    def _send_link(self, link: Link, handler: str, buffer: Buffer,
+                   nbytes: int, issue):
+        """Generator: deliver one link's message with retry + failover.
+
+        Attempts the selected method up to ``RetryPolicy.max_attempts``
+        times (exponential backoff, seeded jitter, optional per-attempt
+        timeout); when a method exhausts its attempts — or a cool-off
+        probe fails — it is excluded and the descriptor table rescanned
+        for the next applicable healthy method.  Every failure feeds the
+        context's health tracker; success clears it.
+
+        With the default policy (no timeout) and no installed faults
+        this reduces to exactly one ``comm.send`` per link.
+        """
+        context = self.context
+        nexus = context.nexus
+        obs = nexus.obs
+        health = context.health
+        policy = nexus.retry_policy
+        rng = nexus.streams.stream("retry")
+        excluded: set[str] = set()
+
+        while True:
+            comm = self.ensure_connected(link, excluded=excluded)
+            method = comm.method
+            probing = health.in_probe(link.context_id, method)
+            if probing:
+                nexus.tracer.incr("nexus.health_probes")
+            failed_method = False
+            for attempt in range(policy.max_attempts):
+                span = None
+                if issue is not None:
+                    if probing:
+                        span = obs.open_span(
+                            PHASE_PROBE, rsr=issue.rsr, ctx=context.id,
+                            lane=method, parent=issue.id)
+                    elif attempt > 0:
+                        span = obs.open_span(
+                            PHASE_RETRY, rsr=issue.rsr, ctx=context.id,
+                            lane=method, parent=issue.id, attempt=attempt)
+                if attempt > 0:
+                    nexus.tracer.incr("nexus.rsr_retries")
+                    delay = policy.delay(attempt - 1, rng)
+                    if delay > 0:
+                        yield nexus.sim.timeout(delay)
+                    if health.is_down(link.context_id, method):
+                        # Someone else's failures downed the method while
+                        # we backed off; stop beating on it.
+                        if span is not None:
+                            obs.close_span(span)
+                        failed_method = True
+                        break
+                message = WireMessage(
+                    handler=handler,
+                    endpoint_id=link.endpoint_id,
+                    src_context=context.id,
+                    dst_context=link.context_id,
+                    payload=(buffer.reader_copy() if self.is_multicast
+                             else buffer),
+                    nbytes=nbytes,
+                )
+                if issue is not None:
+                    obs.attach(message, issue)
+                failure = None
+                if policy.timeout is None:
+                    try:
+                        yield from comm.send(message)
+                    except DeliveryError as exc:
+                        failure = exc
+                else:
+                    failure = yield from self._timed_send(comm, message,
+                                                          policy.timeout)
+                if failure is None:
+                    health.record_success(link.context_id, method)
+                    if span is not None:
+                        obs.close_span(span)
+                    return
+                self._close_failed_trace(message, obs, str(failure))
+                if span is not None:
+                    if span.attrs is None:
+                        span.attrs = {}
+                    span.attrs["failed"] = True
+                    obs.close_span(span)
+                health.record_failure(link.context_id, method)
+                if probing or health.is_down(link.context_id, method):
+                    # A failed probe (or a mid-retry down transition)
+                    # skips straight to failover.
+                    failed_method = True
+                    break
+            else:
+                failed_method = True
+            if failed_method:
+                excluded.add(method)
+                link.comm = None
+                nexus.tracer.incr("nexus.rsr_failovers")
+                if issue is not None:
+                    failover = obs.open_span(
+                        PHASE_FAILOVER, rsr=issue.rsr, ctx=context.id,
+                        lane=method, parent=issue.id, from_method=method)
+                    obs.close_span(failover)
+
+    def _timed_send(self, comm: CommObject, message: WireMessage,
+                    timeout: float):
+        """Generator: race ``comm.send`` against a timeout.
+
+        Returns ``None`` on success or the :class:`DeliveryError` that
+        failed/abandoned the attempt.  The send runs as a child process
+        whose interrupt path releases (or withdraws) any channel units it
+        holds, so an abandoned attempt leaks nothing.
+        """
+        sim = self.context.nexus.sim
+        box: list[DeliveryError] = []
+
+        def _guard(gen):
+            try:
+                yield from gen
+            except DeliveryError as exc:
+                box.append(exc)
+
+        child = sim.process(_guard(comm.send(message)),
+                            name=f"send:{comm.method}:{message.handler}")
+        expiry = sim.timeout(timeout)
+        yield sim.any_of([child, expiry])
+        if child.triggered:
+            return box[0] if box else None
+        child.defuse()
+        child.interrupt(f"send timeout after {timeout}s")
+        return DeliveryError(
+            f"{comm.method} send of {message.handler!r} timed out "
+            f"after {timeout}s")
+
+    @staticmethod
+    def _close_failed_trace(message: WireMessage, obs, reason: str) -> None:
+        """Close a failed attempt's open transport span (if tracing).
+
+        Unlike a genuine drop, a failed attempt must not close the issue
+        span or count ``rsr_dropped`` — the RSR lives on via retry or
+        failover.
+        """
+        trace = message.trace
+        if trace is None:
+            return
+        span = trace.current
+        if span is not None and span.end is None \
+                and span.phase != PHASE_ISSUE:
+            if span.attrs is None:
+                span.attrs = {}
+            span.attrs["failed"] = True
+            span.attrs["error"] = reason
+            obs.close_span(span)
+        trace.current = None
 
     def _common_multicast_group(self) -> str | None:
         """If every link has selected the mcast method with one shared
@@ -278,11 +466,13 @@ class Startpoint:
         """
         if not self.links:
             raise BindError("cannot serialise an unbound startpoint")
+        health = self.context.health
         return WireStartpoint(links=tuple(
             WireLink(
                 context_id=link.context_id,
                 endpoint_id=link.endpoint_id,
                 table_wire=None if lightweight else link.table.to_wire(),
+                down_methods=health.down_methods(link.context_id),
             )
             for link in self.links
         ))

@@ -28,7 +28,7 @@ if _t.TYPE_CHECKING:  # pragma: no cover
     from ..core.runtime import Nexus
 
 #: One glyph per phase for the ASCII timeline (index-aligned to PHASES).
-PHASE_GLYPHS: dict[str, str] = dict(zip(PHASES, "im=~?fdh"))
+PHASE_GLYPHS: dict[str, str] = dict(zip(PHASES, "im=~?fdhrxp"))
 
 _JSON_KW: dict[str, object] = {"sort_keys": True,
                                "separators": (",", ":")}

@@ -47,11 +47,18 @@ PHASE_POLL_DETECT = "poll_detect"
 PHASE_FORWARD = "forward"
 PHASE_DISPATCH = "dispatch"
 PHASE_HANDLER = "handler"
+# Failure-recovery phases (children of the issue span): a backoff-and-
+# retry of one attempt, a switch to the next applicable method, and a
+# cool-off probe of a down method.
+PHASE_RETRY = "retry"
+PHASE_FAILOVER = "failover"
+PHASE_PROBE = "probe"
 
 #: Lifecycle order (also the rendering order of reports/exports).
 PHASES: tuple[str, ...] = (
     PHASE_ISSUE, PHASE_MARSHAL, PHASE_ENQUEUE, PHASE_WIRE,
     PHASE_POLL_DETECT, PHASE_FORWARD, PHASE_DISPATCH, PHASE_HANDLER,
+    PHASE_RETRY, PHASE_FAILOVER, PHASE_PROBE,
 )
 
 #: Lane used for spans not attributable to one transport.

@@ -24,8 +24,10 @@ from .errors import (
     SimnetError,
 )
 from .events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from .faults import FaultPlan
 from .link import Delivery, LinkProfile, Pipe
-from .network import Machine, Network, Partition, Reservation, WanLink
+from .network import FaultRule, FlakyRule, Machine, Network, Partition, \
+    Reservation, WanLink
 from .node import Host
 from .process import Process
 from .random import RandomStreams
@@ -41,6 +43,9 @@ __all__ = [
     "Delivery",
     "Event",
     "EventError",
+    "FaultPlan",
+    "FaultRule",
+    "FlakyRule",
     "Host",
     "Interrupt",
     "LinkProfile",

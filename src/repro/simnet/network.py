@@ -17,8 +17,11 @@ machines joined by wide-area ATM links.  This module models all of that:
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import typing as _t
+
+import numpy as np
 
 from .errors import SimnetError
 from .link import LinkProfile
@@ -28,6 +31,85 @@ if _t.TYPE_CHECKING:  # pragma: no cover
     from .engine import Simulator
 
 _session_ids = itertools.count(1000)
+
+#: A fault scope: a single host, every host of a partition, or every
+#: host of a machine.
+FaultScope = _t.Union["Machine", "Partition", Host]
+
+
+def _scope_contains(scope: FaultScope, host: Host) -> bool:
+    if isinstance(scope, Host):
+        return scope is host
+    if isinstance(scope, Partition):
+        return host.partition is scope
+    return host.machine is scope
+
+
+def _scope_name(scope: FaultScope) -> str:
+    return getattr(scope, "name", repr(scope))
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultRule:
+    """One installed hard fault: traffic between two scopes is severed.
+
+    ``transport=None`` severs every method between the scopes; a name
+    severs only that wire method (e.g. fail TCP while UDP survives).
+    Faults are bidirectional, like the links they sever.
+    """
+
+    a: FaultScope
+    b: FaultScope
+    transport: str | None = None
+
+    def covers(self, src: Host, dst: Host, transport: str | None) -> bool:
+        if self.transport is not None and transport != self.transport:
+            return False
+        return ((_scope_contains(self.a, src) and _scope_contains(self.b, dst))
+                or (_scope_contains(self.a, dst)
+                    and _scope_contains(self.b, src)))
+
+    def covers_link(self, link: "WanLink", transport: str | None) -> bool:
+        """Does this rule sever a WAN link outright?  Only machine-scoped
+        rules do — a host- or partition-scoped fault must not cut the
+        link for unrelated hosts of the same machines."""
+        if self.transport is not None and transport != self.transport:
+            return False
+        return ({self.a, self.b} == {link.a, link.b}
+                if isinstance(self.a, Machine) and isinstance(self.b, Machine)
+                else False)
+
+    def matches(self, a: FaultScope, b: FaultScope,
+                transport: str | None) -> bool:
+        """Is this the rule ``fail(a, b, transport=...)`` installed?
+        (``transport=None`` in :meth:`Network.restore` matches any.)"""
+        if transport is not None and self.transport != transport:
+            return False
+        return {self.a, self.b} == {a, b}
+
+
+class FlakyRule:
+    """A seeded per-message drop rule between two scopes (one direction
+    pair, one optional transport).  Each rule owns its own deterministic
+    RNG so installations elsewhere never perturb its drop sequence."""
+
+    def __init__(self, a: FaultScope, b: FaultScope, transport: str | None,
+                 drop_probability: float, seed: int):
+        if not (0.0 <= drop_probability <= 1.0):
+            raise SimnetError(
+                f"bad flaky drop probability {drop_probability!r}")
+        self.a = a
+        self.b = b
+        self.transport = transport
+        self.drop_probability = drop_probability
+        self.rng = np.random.default_rng(seed)
+
+    def covers(self, src: Host, dst: Host, transport: str | None) -> bool:
+        if self.transport is not None and transport != self.transport:
+            return False
+        return ((_scope_contains(self.a, src) and _scope_contains(self.b, dst))
+                or (_scope_contains(self.a, dst)
+                    and _scope_contains(self.b, src)))
 
 
 class Partition:
@@ -115,6 +197,10 @@ class WanLink:
         self.a = a
         self.b = b
         self.profile = profile
+        #: The healthy profile; :meth:`Network.degrade` always scales from
+        #: this, so degradations are absolute (idempotent) and factors of
+        #: 1.0 restore the original object exactly.
+        self.base_profile = profile
         self.transports = frozenset(transports) if transports is not None else None
         #: Bandwidth currently committed to QoS reservations (bytes/s).
         self.reserved_bandwidth = 0.0
@@ -185,6 +271,11 @@ class Network:
         #: Bumped whenever link characteristics change; transports use it
         #: to invalidate cached effective profiles (outage modelling).
         self.epoch = 0
+        #: Installed hard faults (see :meth:`fail`); empty on the happy
+        #: path so transports can skip fault checks with one truth test.
+        self._fault_rules: list[FaultRule] = []
+        #: Installed seeded flaky-drop rules (see :meth:`set_flaky`).
+        self._flaky_rules: list[FlakyRule] = []
 
     # -- construction ------------------------------------------------------
 
@@ -229,17 +320,96 @@ class Network:
         changed = False
         for link in self._links:
             if {link.a, link.b} == {a, b} and link.carries(transport):
-                link.profile = link.profile.scaled(
-                    latency_factor=latency_factor,
-                    bandwidth_factor=bandwidth_factor,
-                    name=link.profile.name,
-                )
+                # Scale from the pristine base profile, never the current
+                # one: repeated calls are idempotent and factors of 1.0
+                # restore the healthy profile exactly.
+                if latency_factor == 1.0 and bandwidth_factor == 1.0:
+                    link.profile = link.base_profile
+                else:
+                    link.profile = link.base_profile.scaled(
+                        latency_factor=latency_factor,
+                        bandwidth_factor=bandwidth_factor,
+                        name=link.base_profile.name,
+                    )
                 changed = True
         if not changed:
             raise SimnetError(
                 f"no link between {a.name!r} and {b.name!r} to degrade"
             )
         self.epoch += 1
+
+    # -- fault injection ---------------------------------------------------
+
+    def fail(self, a: FaultScope, b: FaultScope, *,
+             transport: str | None = None) -> None:
+        """Sever communication between two scopes (hosts, partitions, or
+        machines), either for one wire method or for all of them.
+
+        Fail-stop at admission: messages already serialised onto the wire
+        still arrive, but every later send attempt raises
+        :class:`~repro.transports.base.DeliveryError` (routed transports)
+        or is refused outright (switch transports).  Idempotent.
+        """
+        if any({existing.a, existing.b} == {a, b}
+               and existing.transport == transport
+               for existing in self._fault_rules):
+            return
+        self._fault_rules.append(FaultRule(a, b, transport))
+        self.epoch += 1
+
+    def restore(self, a: FaultScope, b: FaultScope, *,
+                transport: str | None = None) -> None:
+        """Undo :meth:`fail` between two scopes.  ``transport=None``
+        lifts every fault between them; a name lifts just that method's.
+        Idempotent — restoring a healthy pair is a no-op."""
+        kept = [rule for rule in self._fault_rules
+                if not rule.matches(a, b, transport)]
+        if len(kept) != len(self._fault_rules):
+            self._fault_rules = kept
+            self.epoch += 1
+
+    def is_faulted(self, src: Host, dst: Host,
+                   transport: str | None = None) -> bool:
+        """Is traffic from ``src`` to ``dst`` over ``transport`` severed
+        by an installed hard fault?  (``transport=None``: by any-method
+        faults only.)"""
+        return any(rule.covers(src, dst, transport)
+                   for rule in self._fault_rules)
+
+    def set_flaky(self, a: FaultScope, b: FaultScope, *,
+                  drop_probability: float, seed: int = 0,
+                  transport: str | None = None) -> FlakyRule:
+        """Install (or replace) a seeded per-message drop rule between
+        two scopes.  Each send covered by the rule rolls the rule's own
+        deterministic RNG; rolls below ``drop_probability`` fail that
+        delivery.  Returns the installed rule."""
+        self._flaky_rules = [
+            rule for rule in self._flaky_rules
+            if not ({rule.a, rule.b} == {a, b}
+                    and rule.transport == transport)]
+        rule = FlakyRule(a, b, transport, drop_probability, seed)
+        self._flaky_rules.append(rule)
+        return rule
+
+    def clear_flaky(self, a: FaultScope, b: FaultScope, *,
+                    transport: str | None = None) -> None:
+        """Remove any flaky-drop rule between two scopes (idempotent)."""
+        self._flaky_rules = [
+            rule for rule in self._flaky_rules
+            if not ({rule.a, rule.b} == {a, b}
+                    and (transport is None or rule.transport == transport))]
+
+    def fault_drop(self, src: Host, dst: Host,
+                   transport: str | None = None) -> bool:
+        """Roll every flaky rule covering this send; True means the
+        message is lost.  Deterministic: each rule's RNG advances once
+        per covered send, in installation order."""
+        dropped = False
+        for rule in self._flaky_rules:
+            if rule.covers(src, dst, transport):
+                if rule.rng.random() < rule.drop_probability:
+                    dropped = True
+        return dropped
 
     # -- routing -------------------------------------------------------------
 
@@ -272,6 +442,10 @@ class Network:
                 return route
             for link in self._adjacency[machine]:
                 if not link.carries(transport):
+                    continue
+                if self._fault_rules and any(
+                        rule.covers_link(link, transport)
+                        for rule in self._fault_rules):
                     continue
                 neighbour = link.other(machine)
                 nd = d + link.profile.latency
@@ -335,6 +509,8 @@ class Network:
         This is what a QoS-aware selection policy consults: "looking at
         available network bandwidth rather than raw bandwidth" (§3.2).
         """
+        if self._fault_rules and self.is_faulted(a, b, transport):
+            return None
         if a.machine is b.machine:
             assert a.machine is not None
             if transport is not None:
@@ -352,6 +528,8 @@ class Network:
     def ip_connected(self, a: Host, b: Host,
                      transport: str | None = None) -> bool:
         """True if a routed transport can reach ``b`` from ``a``."""
+        if self._fault_rules and self.is_faulted(a, b, transport):
+            return False
         if a.machine is b.machine:
             return True
         assert a.machine is not None and b.machine is not None
@@ -363,8 +541,11 @@ class Network:
 
         Same machine → that machine's switch profile for ``transport``;
         different machines → the collapsed WAN path profile over links
-        carrying ``transport`` (if connected).
+        carrying ``transport`` (if connected).  ``None`` while a hard
+        fault severs the pair.
         """
+        if self._fault_rules and self.is_faulted(a, b, transport):
+            return None
         if a.machine is b.machine:
             assert a.machine is not None
             return a.machine.switch_profile(transport)

@@ -18,6 +18,8 @@ from .simnet.engine import Simulator
 from .simnet.link import LinkProfile
 from .simnet.network import Machine, Network, Partition
 from .simnet.node import Host
+from .core.health import HealthConfig
+from .core.retry import RetryPolicy
 from .core.runtime import Nexus
 from .transports.costmodels import RuntimeCosts, TransportCosts
 from .util.units import mbps, milliseconds
@@ -55,7 +57,9 @@ def make_sp2(nodes_a: int = 2, nodes_b: int = 2, *,
              costs: _t.Mapping[str, TransportCosts] | None = None,
              runtime_costs: RuntimeCosts | None = None,
              seed: int = 0,
-             switch_tcp: LinkProfile = SP2_SWITCH_TCP) -> SP2Testbed:
+             switch_tcp: LinkProfile = SP2_SWITCH_TCP,
+             retry_policy: "RetryPolicy | None" = None,
+             health: "HealthConfig | None" = None) -> SP2Testbed:
     """Build the paper's experimental platform.
 
     ``nodes_a``/``nodes_b`` processors are placed in partitions "A" and
@@ -71,7 +75,8 @@ def make_sp2(nodes_a: int = 2, nodes_b: int = 2, *,
     partition_a = machine.new_partition("A", hosts_a)
     partition_b = machine.new_partition("B", hosts_b)
     nexus = Nexus(sim, network, transports=transports, costs=costs,
-                  runtime_costs=runtime_costs, seed=seed)
+                  runtime_costs=runtime_costs, seed=seed,
+                  retry_policy=retry_policy, health=health)
     return SP2Testbed(sim=sim, nexus=nexus, machine=machine,
                       partition_a=partition_a, partition_b=partition_b,
                       hosts_a=hosts_a, hosts_b=hosts_b)

@@ -36,6 +36,7 @@ from .base import (
     Transport,
     WireMessage,
 )
+from .errors import DeliveryError
 
 
 class FastTransport(Transport):
@@ -43,6 +44,14 @@ class FastTransport(Transport):
 
     def send(self, local: ContextLike, state: dict, descriptor: Descriptor,
              message: WireMessage):
+        destination = self._route(descriptor)
+        network = self.network
+        if network._fault_rules and network.is_faulted(
+                local.host, destination.host, self.wire_method):
+            raise DeliveryError(
+                f"{self.name} between {local.host.name!r} and "
+                f"{destination.host.name!r} is down (hard fault)"
+            )
         costs = self.costs
         overhead = costs.send_overhead + costs.per_byte_send * message.nbytes
         yield from self._charge(overhead)
@@ -52,7 +61,14 @@ class FastTransport(Transport):
         if message.trace is not None:
             message.trace.transition("wire", ctx=local.id, lane=self.name,
                                      nbytes=message.nbytes)
-        destination = self._route(descriptor)
+        if network._flaky_rules and network.fault_drop(
+                local.host, destination.host, self.wire_method):
+            # Fast devices are reliable: a flaky loss surfaces as a
+            # synchronous device error rather than a silent drop.
+            raise DeliveryError(
+                f"{self.name} device send {local.host.name!r}->"
+                f"{destination.host.name!r} failed on flaky link"
+            )
         self.sim.process(
             self._arrive_later(destination, message),
             name=f"{self.name}:arrive:{message.handler}",

@@ -56,7 +56,17 @@ class IpTransport(Transport):
         Same machine → the machine's switch profile for this method if one
         is configured, else this module's default costs; different
         machines → the collapsed WAN path profile.
+
+        Raises :class:`DeliveryError` while a hard fault severs the pair
+        (the cached profile is epoch-keyed, so installed/lifted faults
+        re-resolve on the next send).
         """
+        if self.network._fault_rules and self.network.is_faulted(
+                src, dst, self.wire_method):
+            raise DeliveryError(
+                f"{self.wire_method} between {src.name!r} and "
+                f"{dst.name!r} is down (hard fault)"
+            )
         if src.machine is dst.machine:
             profile = None
             if src.machine is not None:
@@ -124,18 +134,37 @@ class IpTransport(Transport):
             state["profile_epoch"] = self.network.epoch
 
         channel = _t.cast(Resource, state["channel"])
-        yield channel.request()
+        request = channel.request()
         try:
+            yield request
             message.method = self.name
             message.sent_at = self.sim.now
             yield self.sim.timeout(profile.serialization_time(message.nbytes))
         finally:
-            channel.release()
+            # Granted (even if we were interrupted mid-serialisation) →
+            # give the capacity back; still pending → withdraw the
+            # request so the channel never leaks a unit.
+            if request.triggered:
+                channel.release()
+            else:
+                channel.cancel(request)
         self.record_send(message)
         if message.trace is not None:
             message.trace.transition("wire", ctx=local.id, lane=self.name,
                                      nbytes=message.nbytes)
 
+        if self.network._flaky_rules and self.network.fault_drop(
+                local.host, hop_context.host, self.wire_method):
+            if self.costs.reliable:
+                # A reliable transport notices the loss (connection
+                # reset) and reports it synchronously so the core layer
+                # can retry or fail over.
+                raise DeliveryError(
+                    f"{self.name} connection {local.host.name!r}->"
+                    f"{hop_context.host.name!r} reset by flaky link"
+                )
+            self.record_drop(message)
+            return
         if not self.costs.reliable and self._drop():
             self.record_drop(message)
             return

@@ -19,11 +19,11 @@ if _t.TYPE_CHECKING:  # pragma: no cover
 
 
 def _context_section(nexus: "Nexus") -> list[str]:
-    from ..core.enquiry import poll_report
+    from ..core.enquiry import _build_poll_report
 
     lines = ["contexts:"]
     for context in nexus.contexts.values():
-        report = poll_report(context)
+        report = _build_poll_report(context)
         lines.append(
             f"  {context.name} (id {context.id}, host {context.host.name})")
         lines.append(
@@ -67,7 +67,7 @@ def _transport_section(nexus: "Nexus") -> list[str]:
 
 def _observability_section(nexus: "Nexus") -> list[str]:
     """Phase breakdown of traced RSR lifecycles (only when observing)."""
-    from ..core.enquiry import latency_report, phase_report
+    from ..core.enquiry import _build_latency_report, _build_phase_report
 
     obs = nexus.obs
     if not obs.enabled or not obs.spans:
@@ -78,12 +78,12 @@ def _observability_section(nexus: "Nexus") -> list[str]:
         f"({obs.rsrs_finished} delivered"
         + (f", {obs.dropped_spans} spans dropped at capacity)"
            if obs.dropped_spans else ")"))
-    for method, stats in sorted(latency_report(nexus).items()):
+    for method, stats in sorted(_build_latency_report(nexus).items()):
         lines.append(
             f"  end-to-end {method:>8}: n={stats.count:<6} "
             f"mean {stats.mean_us:8.1f} us  p95 {stats.p95_us:8.1f} us  "
             f"max {stats.max_us:8.1f} us")
-    for (phase, lane), stats in sorted(phase_report(nexus).items()):
+    for (phase, lane), stats in sorted(_build_phase_report(nexus).items()):
         lines.append(
             f"  {phase:>11}/{lane:<8}: n={stats.count:<6} "
             f"mean {stats.mean_us:8.1f} us  p95 {stats.p95_us:8.1f} us")

@@ -1,0 +1,93 @@
+"""Tests for the one-stop enquiry aggregate: report(nexus), uniform
+as_dict(), and the deprecation shims' parity with it."""
+
+import pytest
+
+from repro import Buffer, enquiry, make_sp2, obs as _obs
+
+
+def run_workload(bed):
+    nexus = bed.nexus
+    a = nexus.context(bed.hosts_a[0])
+    b = nexus.context(bed.hosts_b[0])
+    log = []
+    b.register_handler("blob",
+                       lambda c, e, buf: log.append(buf.get_padding()))
+    sp = a.startpoint_to(b.new_endpoint())
+
+    def sender():
+        yield from sp.rsr("blob", Buffer().put_padding(512))
+
+    nexus.run_until(sender(), b.wait(lambda: bool(log)))
+    return a, b
+
+
+@pytest.fixture
+def bed(sp2):
+    run_workload(sp2)
+    return sp2
+
+
+@pytest.fixture
+def traced_bed():
+    with _obs.collecting():
+        bed = make_sp2(nodes_a=1, nodes_b=1)
+        run_workload(bed)
+    return bed
+
+
+class TestReport:
+    def test_aggregates_every_section(self, bed):
+        report = enquiry.report(bed.nexus)
+        assert report.now == bed.sim.now
+        assert report.transports["tcp"].messages_sent >= 1
+        assert set(report.polling) == {c.id
+                                       for c in bed.nexus.contexts.values()}
+        assert report.health.retries == 0
+        assert report.health.down == ()
+
+    def test_traced_sections_filled_when_observing(self, traced_bed):
+        report = enquiry.report(traced_bed.nexus)
+        assert report.phases, "phase stats need an observing runtime"
+        assert "tcp" in report.latency
+
+    def test_as_dict_is_uniform_and_json_friendly(self, traced_bed):
+        import json
+
+        report = enquiry.report(traced_bed.nexus)
+        as_dict = report.as_dict()
+        assert set(as_dict) == {"now", "transports", "polling", "phases",
+                                "latency", "poll_batches", "health"}
+        for section in ("transports", "polling", "phases", "latency",
+                        "poll_batches"):
+            for stats in as_dict[section].values():
+                assert isinstance(stats, dict)
+        json.dumps(as_dict)  # tuple keys flattened, everything plain
+
+
+class TestShimParity:
+    def test_transport_report_matches(self, bed):
+        with pytest.warns(DeprecationWarning, match="transport_report"):
+            old = enquiry.transport_report(bed.nexus)
+        new = enquiry.report(bed.nexus).transports
+        assert old == {name: stats.as_dict() for name, stats in new.items()}
+
+    def test_poll_report_matches(self, bed):
+        context = next(iter(bed.nexus.contexts.values()))
+        with pytest.warns(DeprecationWarning, match="poll_report"):
+            old = enquiry.poll_report(context)
+        assert old == enquiry.report(bed.nexus).polling[context.id]
+
+    def test_phase_and_latency_reports_match(self, traced_bed):
+        with pytest.warns(DeprecationWarning, match="phase_report"):
+            old_phases = enquiry.phase_report(traced_bed.nexus)
+        with pytest.warns(DeprecationWarning, match="latency_report"):
+            old_latency = enquiry.latency_report(traced_bed.nexus)
+        report = enquiry.report(traced_bed.nexus)
+        assert old_phases == report.phases
+        assert old_latency == report.latency
+
+    def test_poll_batch_report_matches(self, traced_bed):
+        with pytest.warns(DeprecationWarning, match="poll_batch_report"):
+            old = enquiry.poll_batch_report(traced_bed.nexus)
+        assert old == enquiry.report(traced_bed.nexus).poll_batches

@@ -1,0 +1,137 @@
+"""Tests for the per-(remote, method) health state machine:
+UP -> DOWN -> PROBE -> UP/DOWN."""
+
+import pytest
+
+from repro.core.errors import NexusError
+from repro.core.health import HealthConfig, HealthTracker
+
+REMOTE = 7
+
+
+@pytest.fixture
+def tracker(sim):
+    return HealthTracker(sim, HealthConfig(failure_threshold=3,
+                                           cooloff=0.5))
+
+
+def advance(sim, dt):
+    sim.run(until=sim.timeout(dt))
+
+
+def transitions(tracker):
+    return [(method, transition)
+            for _t, _r, method, transition in tracker.events]
+
+
+class TestDownTransition:
+    def test_down_after_threshold_consecutive_failures(self, tracker):
+        for _ in range(2):
+            tracker.record_failure(REMOTE, "tcp")
+            assert not tracker.is_down(REMOTE, "tcp")
+        assert tracker.record_failure(REMOTE, "tcp") is True
+        assert tracker.is_down(REMOTE, "tcp")
+        assert transitions(tracker) == [("tcp", "down")]
+
+    def test_success_resets_the_streak(self, tracker):
+        tracker.record_failure(REMOTE, "tcp")
+        tracker.record_failure(REMOTE, "tcp")
+        tracker.record_success(REMOTE, "tcp")
+        tracker.record_failure(REMOTE, "tcp")
+        tracker.record_failure(REMOTE, "tcp")
+        assert not tracker.is_down(REMOTE, "tcp")
+        assert tracker.events == [], "sub-threshold churn logs nothing"
+
+    def test_keys_are_independent(self, tracker):
+        for _ in range(3):
+            tracker.record_failure(REMOTE, "tcp")
+        assert not tracker.is_down(REMOTE, "udp")
+        assert not tracker.is_down(REMOTE + 1, "tcp")
+        assert tracker.down_methods(REMOTE) == ("tcp",)
+        assert tracker.down_methods(REMOTE + 1) == ()
+
+    def test_mark_down_seeds_directly(self, tracker):
+        tracker.mark_down(REMOTE, "tcp")
+        assert tracker.is_down(REMOTE, "tcp")
+        epoch = tracker.epoch
+        tracker.mark_down(REMOTE, "tcp")
+        assert tracker.epoch == epoch, "re-marking is a no-op"
+
+
+class TestProbeCycle:
+    def test_cooloff_flips_down_to_probe(self, sim, tracker):
+        tracker.mark_down(REMOTE, "tcp")
+        advance(sim, 0.25)
+        assert tracker.is_down(REMOTE, "tcp"), "cool-off not yet elapsed"
+        advance(sim, 0.25)
+        assert not tracker.is_down(REMOTE, "tcp"), "next send is the probe"
+        assert tracker.in_probe(REMOTE, "tcp")
+        assert transitions(tracker) == [("tcp", "down"), ("tcp", "probe")]
+
+    def test_probe_success_re_enables(self, sim, tracker):
+        tracker.mark_down(REMOTE, "tcp")
+        advance(sim, 0.5)
+        tracker.is_down(REMOTE, "tcp")
+        tracker.record_success(REMOTE, "tcp")
+        assert not tracker.in_probe(REMOTE, "tcp")
+        assert tracker.snapshot() == []
+        assert transitions(tracker)[-1] == ("tcp", "up")
+
+    def test_probe_failure_re_downs_immediately(self, sim, tracker):
+        tracker.mark_down(REMOTE, "tcp")
+        advance(sim, 0.5)
+        tracker.is_down(REMOTE, "tcp")
+        assert tracker.record_failure(REMOTE, "tcp") is True
+        assert tracker.is_down(REMOTE, "tcp"), \
+            "one failed probe re-downs without a fresh threshold"
+        assert transitions(tracker)[-1] == ("tcp", "probe_failed")
+        # The cool-off restarts from the failed probe, not the first down.
+        advance(sim, 0.4)
+        assert tracker.is_down(REMOTE, "tcp")
+        advance(sim, 0.1)
+        assert not tracker.is_down(REMOTE, "tcp")
+
+
+class TestFastPath:
+    def test_epoch_bumps_only_on_transitions(self, tracker):
+        assert tracker.epoch == 0
+        tracker.record_failure(REMOTE, "tcp")
+        assert tracker.epoch == 0
+        tracker.record_failure(REMOTE, "tcp")
+        tracker.record_failure(REMOTE, "tcp")
+        assert tracker.epoch == 1
+
+    def test_next_probe_at_tracks_earliest_down(self, sim, tracker):
+        assert tracker.next_probe_at == float("inf")
+        tracker.mark_down(REMOTE, "tcp")
+        assert tracker.next_probe_at == pytest.approx(0.5)
+        advance(sim, 0.2)
+        tracker.mark_down(REMOTE, "udp")
+        assert tracker.next_probe_at == pytest.approx(0.5), \
+            "earliest probeable entry wins"
+        advance(sim, 0.3)
+        tracker.is_down(REMOTE, "tcp")  # flips tcp to PROBE
+        assert tracker.next_probe_at == pytest.approx(0.7)
+        tracker.record_success(REMOTE, "tcp")
+        tracker.is_down(REMOTE, "udp")
+        advance(sim, 0.2)
+        tracker.is_down(REMOTE, "udp")
+        tracker.record_success(REMOTE, "udp")
+        assert tracker.next_probe_at == float("inf")
+
+    def test_snapshot_lists_non_up_entries(self, tracker):
+        tracker.record_failure(REMOTE, "tcp")
+        tracker.mark_down(REMOTE, "udp")
+        rows = tracker.snapshot()
+        assert [(r["method"], r["state"]) for r in rows] == [
+            ("tcp", "degraded"), ("udp", "down")]
+
+
+class TestConfigValidation:
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(NexusError):
+            HealthConfig(failure_threshold=0)
+
+    def test_bad_cooloff_rejected(self):
+        with pytest.raises(NexusError):
+            HealthConfig(cooloff=0.0)

@@ -1,0 +1,129 @@
+"""Tests for RetryPolicy: validation, backoff arithmetic, per-attempt
+timeouts, and deterministic seeded jitter."""
+
+import numpy as np
+import pytest
+
+from repro import Buffer, HealthConfig, RetryPolicy, enquiry, make_sp2
+from repro.core.errors import NexusError, SelectionError
+from repro.core.retry import NO_RETRY
+
+MB = 1024 * 1024
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(max_attempts=0),
+        dict(timeout=0.0),
+        dict(timeout=-1.0),
+        dict(base_delay=-0.1),
+        dict(base_delay=0.5, max_delay=0.1),
+        dict(backoff=0.5),
+        dict(jitter=1.5),
+        dict(jitter=-0.1),
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(NexusError):
+            RetryPolicy(**kwargs)
+
+    def test_no_retry_is_single_attempt(self):
+        assert NO_RETRY.max_attempts == 1
+        assert NO_RETRY.timeout is None
+
+
+class TestBackoff:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(base_delay=0.001, max_delay=0.01,
+                             backoff=2.0, jitter=0.0)
+        assert policy.delay(0) == pytest.approx(0.001)
+        assert policy.delay(1) == pytest.approx(0.002)
+        assert policy.delay(3) == pytest.approx(0.008)
+        assert policy.delay(10) == pytest.approx(0.01), "capped at max_delay"
+
+    def test_jitter_is_bounded_and_seeded(self):
+        policy = RetryPolicy(base_delay=0.001, max_delay=0.001, jitter=0.5)
+        delays = [policy.delay(0, np.random.default_rng(42))
+                  for _ in range(8)]
+        assert delays == [delays[0]] * 8, "same seed, same jitter"
+        assert 0.001 <= delays[0] <= 0.0015
+        rng = np.random.default_rng(42)
+        assert len({policy.delay(0, rng) for _ in range(8)}) > 1
+
+    def test_no_rng_means_no_jitter(self):
+        policy = RetryPolicy(base_delay=0.001, max_delay=0.001, jitter=0.5)
+        assert policy.delay(0) == pytest.approx(0.001)
+
+
+def cross_partition_send(bed, payload):
+    nexus = bed.nexus
+    a = nexus.context(bed.hosts_a[0])
+    b = nexus.context(bed.hosts_b[0])
+    log = []
+    b.register_handler("blob",
+                       lambda c, e, buf: log.append(buf.get_padding()))
+    sp = a.startpoint_to(b.new_endpoint())
+
+    def sender():
+        yield from sp.rsr("blob", Buffer().put_padding(payload))
+
+    nexus.run_until(sender(), b.wait(lambda: bool(log)))
+    return log
+
+
+class TestTimeout:
+    def test_generous_timeout_changes_nothing(self):
+        baseline = make_sp2(nodes_a=1, nodes_b=1)
+        timed = make_sp2(nodes_a=1, nodes_b=1,
+                         retry_policy=RetryPolicy(timeout=60.0))
+        assert cross_partition_send(baseline, MB) == \
+            cross_partition_send(timed, MB)
+        assert timed.sim.now == pytest.approx(baseline.sim.now)
+        assert enquiry.health_report(timed.nexus).retries == 0
+
+    def test_attempts_time_out_then_methods_exhaust(self):
+        # A 2 MB transfer over the 8 Mb/s switch takes ~2 s; a 1 ms
+        # per-attempt timeout abandons every attempt, downs TCP, and —
+        # with no other applicable method — the send fails loudly.
+        bed = make_sp2(
+            nodes_a=1, nodes_b=1,
+            retry_policy=RetryPolicy(max_attempts=2, timeout=1e-3,
+                                     base_delay=1e-4, max_delay=1e-3),
+            health=HealthConfig(failure_threshold=2, cooloff=1.0))
+        with pytest.raises(SelectionError,
+                           match="no healthy communication methods left"):
+            cross_partition_send(bed, 2 * MB)
+        health = enquiry.health_report(bed.nexus)
+        assert health.retries == 1
+        assert [(m, t) for _, _, _, m, t in health.events] == [
+            ("tcp", "down")]
+
+    def test_abandoned_attempt_leaks_no_channel_units(self):
+        # After the timed-out send is interrupted, the channel must be
+        # fully released or a later send would block forever.
+        bed = make_sp2(
+            nodes_a=1, nodes_b=1,
+            retry_policy=RetryPolicy(max_attempts=1, timeout=0.1),
+            health=HealthConfig(failure_threshold=10, cooloff=1.0))
+        with pytest.raises(SelectionError):
+            cross_partition_send(bed, 2 * MB)
+        assert cross_partition_send(bed, 1024) == [1024]
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_retry_arcs(self):
+        def run():
+            bed = make_sp2(
+                nodes_a=1, nodes_b=1, seed=3,
+                retry_policy=RetryPolicy(max_attempts=3, timeout=1e-3,
+                                         base_delay=1e-4, max_delay=1e-2))
+            try:
+                cross_partition_send(bed, 2 * MB)
+            except SelectionError:
+                pass
+            health = enquiry.health_report(bed.nexus)
+            # Context ids are allocated globally, so strip them before
+            # comparing the two runs' transition logs.
+            return (bed.sim.now, health.retries,
+                    [(t, m, tr) for t, _c, _r, m, tr in health.events])
+
+        assert run() == run()

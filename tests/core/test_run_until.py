@@ -1,0 +1,101 @@
+"""Tests for the one-stop run loop: Nexus.run_until and the Nexus
+context manager."""
+
+import pytest
+
+from repro import Buffer, NexusError, make_sp2
+
+
+@pytest.fixture
+def nexus(sp2):
+    return sp2.nexus
+
+
+class TestRunUntil:
+    def test_single_generator_returns_its_value(self, nexus):
+        def body():
+            yield nexus.sim.timeout(0.5)
+            return "done"
+
+        assert nexus.run_until(body()) == "done"
+        assert nexus.now == 0.5
+
+    def test_multiple_conditions_return_result_list(self, nexus):
+        def fast():
+            yield nexus.sim.timeout(0.1)
+            return "fast"
+
+        def slow():
+            yield nexus.sim.timeout(0.4)
+            return "slow"
+
+        assert nexus.run_until(fast(), slow()) == ["fast", "slow"]
+        assert nexus.now == 0.4
+
+    def test_event_condition(self, nexus):
+        done = nexus.sim.timeout(0.25)
+        nexus.run_until(done)
+        assert nexus.now == 0.25
+
+    def test_predicate_steps_until_true(self, nexus):
+        ticks = []
+
+        def ticker():
+            for _ in range(5):
+                yield nexus.sim.timeout(0.1)
+                ticks.append(nexus.now)
+
+        nexus.spawn(ticker())
+        result = nexus.run_until(lambda: len(ticks) >= 3)
+        assert result is None, "predicates contribute no value"
+        assert len(ticks) == 3
+
+    def test_mixed_generator_and_predicate(self, nexus):
+        ticks = []
+
+        def ticker():
+            for _ in range(3):
+                yield nexus.sim.timeout(0.1)
+                ticks.append(nexus.now)
+
+        results = nexus.run_until(ticker(), lambda: bool(ticks))
+        assert results == [None, None]
+        assert len(ticks) == 3, "every condition must hold, not just one"
+
+    def test_dry_queue_raises_nexus_error(self, nexus):
+        with pytest.raises(NexusError, match="ran dry"):
+            nexus.run_until(lambda: False)
+
+    def test_bad_condition_rejected(self, nexus):
+        with pytest.raises(NexusError, match="cannot wait on"):
+            nexus.run_until(42)
+
+    def test_no_conditions_runs_to_completion(self, nexus):
+        def body():
+            yield nexus.sim.timeout(1.5)
+
+        nexus.spawn(body())
+        nexus.run_until()
+        assert nexus.now == 1.5
+
+
+class TestContextManager:
+    def test_with_block_yields_the_nexus(self, sp2):
+        with sp2.nexus as nexus:
+            assert nexus is sp2.nexus
+
+    def test_end_to_end_with_block_workflow(self, sp2):
+        """The README quick-start shape: with-block + run_until."""
+        with sp2.nexus as nexus:
+            a = nexus.context(sp2.hosts_a[0])
+            b = nexus.context(sp2.hosts_b[0])
+            log = []
+            b.register_handler(
+                "blob", lambda c, e, buf: log.append(buf.get_padding()))
+            sp = a.startpoint_to(b.new_endpoint())
+
+            def sender():
+                yield from sp.rsr("blob", Buffer().put_padding(256))
+
+            nexus.run_until(sender(), b.wait(lambda: bool(log)))
+        assert log == [256]

@@ -1,0 +1,166 @@
+"""Tests for fault injection: hard faults, flaky windows, FaultPlan,
+and the degrade() exact-restore guarantee."""
+
+import pytest
+
+from repro.simnet import LinkProfile, Network, Simulator
+from repro.simnet.errors import SimnetError
+from repro.simnet.faults import FaultPlan
+from repro.util.units import mbps, milliseconds
+
+WAN = LinkProfile("wan", latency=milliseconds(10.0), bandwidth=mbps(8.0))
+
+
+@pytest.fixture
+def net(sim):
+    return Network(sim)
+
+
+def two_machines(net):
+    ma = net.new_machine("ma")
+    mb = net.new_machine("mb")
+    net.connect(ma, mb, WAN)
+    return ma, mb
+
+
+class TestHardFaults:
+    def test_fail_severs_and_restore_heals(self, net):
+        ma, mb = two_machines(net)
+        ha, hb = ma.new_host(), mb.new_host()
+        net.fail(ma, mb)
+        assert net.is_faulted(ha, hb)
+        assert net.is_faulted(hb, ha), "faults are symmetric"
+        net.restore(ma, mb)
+        assert not net.is_faulted(ha, hb)
+
+    def test_fail_is_idempotent(self, net):
+        ma, mb = two_machines(net)
+        net.fail(ma, mb, transport="tcp")
+        epoch = net.epoch
+        net.fail(ma, mb, transport="tcp")
+        assert net.epoch == epoch, "re-failing a failed pair is a no-op"
+
+    def test_restore_healthy_pair_is_noop(self, net):
+        ma, mb = two_machines(net)
+        epoch = net.epoch
+        net.restore(ma, mb)
+        assert net.epoch == epoch
+
+    def test_transport_scoped_fault(self, net):
+        ma, mb = two_machines(net)
+        ha, hb = ma.new_host(), mb.new_host()
+        net.fail(ma, mb, transport="tcp")
+        assert net.is_faulted(ha, hb, "tcp")
+        assert not net.is_faulted(ha, hb, "udp")
+        net.restore(ma, mb, transport="udp")
+        assert net.is_faulted(ha, hb, "tcp"), "wrong-method restore kept it"
+        net.restore(ma, mb)  # transport=None lifts everything
+        assert not net.is_faulted(ha, hb, "tcp")
+
+
+class TestFlaky:
+    def test_drop_sequence_is_seeded(self, sim):
+        def drops(seed):
+            net = Network(sim)
+            ma, mb = two_machines(net)
+            ha, hb = ma.new_host(), mb.new_host()
+            net.set_flaky(ma, mb, drop_probability=0.5, seed=seed)
+            return [net.fault_drop(ha, hb) for _ in range(64)]
+
+        assert drops(7) == drops(7), "same seed, same drop pattern"
+        assert drops(7) != drops(8)
+        assert any(drops(7)) and not all(drops(7))
+
+    def test_clear_flaky_is_idempotent(self, net):
+        ma, mb = two_machines(net)
+        ha, hb = ma.new_host(), mb.new_host()
+        net.set_flaky(ma, mb, drop_probability=1.0)
+        assert net.fault_drop(ha, hb)
+        net.clear_flaky(ma, mb)
+        net.clear_flaky(ma, mb)
+        assert not net.fault_drop(ha, hb)
+
+    def test_set_flaky_replaces_existing_rule(self, net):
+        ma, mb = two_machines(net)
+        ha, hb = ma.new_host(), mb.new_host()
+        net.set_flaky(ma, mb, drop_probability=1.0)
+        net.set_flaky(ma, mb, drop_probability=0.0)
+        assert not any(net.fault_drop(ha, hb) for _ in range(16))
+
+
+class TestFaultPlan:
+    def test_outage_window_fires_and_logs(self, sim, net):
+        ma, mb = two_machines(net)
+        ha, hb = ma.new_host(), mb.new_host()
+        plan = FaultPlan(net).outage(ma, mb, start=0.5, duration=1.0,
+                                     transport="tcp")
+        plan.install(sim)
+        seen = []
+
+        def probe():
+            for _ in range(4):
+                seen.append((sim.now, net.is_faulted(ha, hb, "tcp")))
+                yield sim.timeout(0.6)
+
+        sim.process(probe())
+        sim.run()
+        assert [(round(t, 9), f) for t, f in seen] == [
+            (0.0, False), (0.6, True), (1.2, True), (1.8, False)]
+        assert plan.log == [(0.5, "fail", "ma<->mb/tcp"),
+                            (1.5, "restore", "ma<->mb/tcp")]
+
+    def test_flaky_window_fires_and_logs(self, sim, net):
+        ma, mb = two_machines(net)
+        plan = FaultPlan(net).flaky(ma, mb, start=0.25, duration=0.5,
+                                    drop_probability=0.3, seed=3)
+        plan.install(sim)
+        sim.run()
+        assert [(t, a) for t, a, _ in plan.log] == [(0.25, "flaky"),
+                                                    (0.75, "clear_flaky")]
+
+    def test_permanent_outage_never_restores(self, sim, net):
+        ma, mb = two_machines(net)
+        plan = FaultPlan(net).outage(ma, mb, start=0.1)
+        plan.install(sim)
+        sim.run()
+        assert [a for _, a, _ in plan.log] == ["fail"]
+        assert net.is_faulted(ma.new_host(), mb.new_host())
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(start=-1.0), dict(start=0.0, duration=0.0),
+        dict(start=0.0, duration=-2.0),
+    ])
+    def test_bad_windows_rejected(self, net, kwargs):
+        ma, mb = two_machines(net)
+        with pytest.raises(SimnetError):
+            FaultPlan(net).outage(ma, mb, **kwargs)
+        with pytest.raises(SimnetError):
+            FaultPlan(net).flaky(ma, mb, drop_probability=0.5, **kwargs)
+
+
+class TestDegrade:
+    def test_unit_factors_restore_exactly(self, net):
+        ma, mb = two_machines(net)
+        (link,) = net._links
+        pristine = link.profile
+        net.degrade(ma, mb, latency_factor=10.0, bandwidth_factor=0.25)
+        assert link.profile.latency == pytest.approx(10 * WAN.latency)
+        assert link.profile.bandwidth == pytest.approx(WAN.bandwidth / 4)
+        net.degrade(ma, mb)  # factors of 1.0 restore the base profile
+        assert link.profile is link.base_profile
+        assert link.profile == pristine
+
+    def test_degrade_is_idempotent(self, net):
+        ma, mb = two_machines(net)
+        (link,) = net._links
+        net.degrade(ma, mb, latency_factor=3.0)
+        once = link.profile
+        net.degrade(ma, mb, latency_factor=3.0)
+        assert link.profile == once, \
+            "repeated degrade must scale from the base, not compound"
+
+    def test_degrade_without_link_raises(self, net):
+        ma = net.new_machine("ma")
+        mb = net.new_machine("mb")
+        with pytest.raises(SimnetError):
+            net.degrade(ma, mb, latency_factor=2.0)

@@ -21,6 +21,7 @@ EXPECTED_OUTPUT = {
     "satellite_pipeline.py": "mean pipeline latency",
     "fortran_m_pipeline.py": "merged stream",
     "protocol_stacks.py": "lzw+tcp",
+    "chaos_climate.py": "TCP recovered",
 }
 
 
