@@ -9,6 +9,8 @@ Usage::
     python -m repro.bench --quick --record out.json \\
         --baseline benchmarks/BENCH_quick_baseline.json --check
     python -m repro.bench --quick --trace trace.json --profile --flame out.folded
+    python -m repro.bench --wall --quick --record BENCH_wall.json \\
+        --baseline benchmarks/BENCH_wall_baseline.json --check
     python -m repro.bench --list
 
 The pytest benchmarks (`pytest benchmarks/ --benchmark-only`) are the
@@ -20,6 +22,13 @@ writes a deterministic :class:`~repro.bench.record.BenchRecord`
 stored baseline and exit non-zero on regression, and
 ``--profile``/``--flame`` aggregate the traced span log into a hot-path
 table and a collapsed-stack flamegraph export.
+
+``--wall`` switches to the wall-clock tier (see :mod:`repro.bench.wall`):
+each artefact runs ``--runs`` times untraced, and the record holds
+median/p10/p90 wall seconds plus events-per-second instead of the
+simulated-time tables.  With ``--baseline --check``, wall metrics gate
+at the generous ``--wall-tolerance`` band while the deterministic
+``sim_events`` counts keep their exact gate.
 """
 
 from __future__ import annotations
@@ -42,6 +51,7 @@ from .figure4 import check_figure4_shape, figure4
 from .figure6 import check_figure6_shape, figure6
 from .record import (
     KIND_WALL,
+    WALL_TOLERANCE,
     BenchRecord,
     compare_records,
     load_record,
@@ -54,6 +64,7 @@ from .record import (
     record_table1,
 )
 from .table1 import check_table1_shape, table1
+from .wall import DEFAULT_WALL_RUNS, measure_artefact, record_wall
 
 
 def _run_figure4(quick: bool, record: BenchRecord | None) -> None:
@@ -205,6 +216,19 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     parser.add_argument("--flame", metavar="PATH", default=None,
                         help="trace the run and write collapsed-stack "
                              "output (speedscope / flamegraph.pl)")
+    parser.add_argument("--wall", action="store_true",
+                        help="wall-clock tier: time each artefact over "
+                             "--runs repetitions (stdout suppressed) and "
+                             "record median/p10/p90 wall + events/sec")
+    parser.add_argument("--runs", type=int, default=DEFAULT_WALL_RUNS,
+                        metavar="N",
+                        help="repetitions per artefact for --wall "
+                             f"(default {DEFAULT_WALL_RUNS})")
+    parser.add_argument("--wall-tolerance", type=float,
+                        default=WALL_TOLERANCE, metavar="FRAC",
+                        help="with --wall --check: relative band before a "
+                             "wall metric gates "
+                             f"(default {WALL_TOLERANCE})")
     parser.add_argument("--list", action="store_true",
                         help="list artefacts and exit")
     args = parser.parse_args(argv)
@@ -215,6 +239,9 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         return 0
     if args.check and not args.baseline:
         parser.error("--check requires --baseline")
+    if args.wall and (args.trace or args.profile or args.flame):
+        parser.error("--wall times untraced runs; it cannot be combined "
+                     "with --trace/--profile/--flame")
 
     selected = args.artefacts or list(ARTEFACTS)
     for name in selected:
@@ -235,25 +262,37 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
 
     record: BenchRecord | None = None
     if args.record or args.baseline:
-        record = BenchRecord("quick" if args.quick else "full",
-                             quick=args.quick)
+        label = "quick" if args.quick else "full"
+        if args.wall:
+            label = f"wall-{label}"
+        record = BenchRecord(label, quick=args.quick)
     tracing = bool(args.trace or args.profile or args.flame)
     collected: list = []
-    for name in selected:
-        print(f"=== {name} {'(quick)' if args.quick else ''} ===")
-        started = time.perf_counter()
-        if tracing:
-            with _obs.collecting() as runs:
-                ARTEFACTS[name](args.quick, record)
-            collected.extend(runs)
+    if args.wall:
+        for name in selected:
+            print(f"=== {name} {'(quick)' if args.quick else ''} ===")
+            measurement = measure_artefact(
+                name, ARTEFACTS[name], quick=args.quick, runs=args.runs)
+            print(measurement.summary())
             if record is not None:
-                record_observability(record, name, runs)
-        else:
-            ARTEFACTS[name](args.quick, record)
-        elapsed = time.perf_counter() - started
-        if record is not None:
-            record.add(name, "wall_s", elapsed, unit="s", kind=KIND_WALL)
-        print(f"[{name}: {elapsed:.1f}s wall]\n")
+                record_wall(record, measurement)
+    else:
+        for name in selected:
+            print(f"=== {name} {'(quick)' if args.quick else ''} ===")
+            started = time.perf_counter()
+            if tracing:
+                with _obs.collecting() as runs:
+                    ARTEFACTS[name](args.quick, record)
+                collected.extend(runs)
+                if record is not None:
+                    record_observability(record, name, runs)
+            else:
+                ARTEFACTS[name](args.quick, record)
+            elapsed = time.perf_counter() - started
+            if record is not None:
+                record.add(name, "wall_s", elapsed, unit="s",
+                           kind=KIND_WALL)
+            print(f"[{name}: {elapsed:.1f}s wall]\n")
 
     if args.trace:
         _obs.export.write_merged_chrome_trace(args.trace, collected)
@@ -271,12 +310,15 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                   f"({profile.spans_profiled} spans) -> {args.flame}")
     if args.record:
         assert record is not None
-        record.write(args.record, include_wall=args.record_wall)
+        # The wall tier's record IS its wall numbers; always keep them.
+        record.write(args.record,
+                     include_wall=args.record_wall or args.wall)
         print(f"record: {len(record)} metrics -> {args.record}")
     if args.baseline:
         assert record is not None and baseline is not None
         comparison = compare_records(
-            baseline, record.to_document(include_wall=True))
+            baseline, record.to_document(include_wall=True),
+            wall_tolerance=args.wall_tolerance if args.wall else None)
         print(comparison.render())
         if args.check and not comparison.ok:
             return 1

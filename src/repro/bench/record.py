@@ -58,6 +58,9 @@ DIRECTIONS = (DIR_LOWER, DIR_HIGHER, DIR_NONE)
 #: Default gate tolerances per kind (relative).
 SIM_TOLERANCE = 0.01
 COUNT_TOLERANCE = 0.10
+#: Default wall gate band when wall gating is requested (``--wall
+#: --check``): generous, because wall clock is noisy on shared runners.
+WALL_TOLERANCE = 0.75
 
 _SLUG_RE = re.compile(r"[^A-Za-z0-9_.+=-]+")
 
@@ -335,7 +338,8 @@ def _flat_metrics(document: dict[str, object]
 
 def _diff_one(artefact: str, name: str, base: dict[str, object],
               cur: dict[str, object], sim_tolerance: float,
-              count_tolerance: float) -> MetricDiff:
+              count_tolerance: float,
+              wall_tolerance: float | None) -> MetricDiff:
     base_value = _t.cast(float, base["value"])
     cur_value = _t.cast(float, cur["value"])
     kind = _t.cast(str, cur.get("kind", base.get("kind", KIND_SIM)))
@@ -346,10 +350,11 @@ def _diff_one(artefact: str, name: str, base: dict[str, object],
     else:
         rel = (cur_value - base_value) / abs(base_value)
 
-    if kind == KIND_WALL:
+    if kind == KIND_WALL and wall_tolerance is None:
         status = STATUS_WALL if rel != 0.0 else STATUS_OK
     else:
-        tolerance = (count_tolerance if kind == KIND_COUNT
+        tolerance = (wall_tolerance if kind == KIND_WALL
+                     else count_tolerance if kind == KIND_COUNT
                      else sim_tolerance)
         if direction == DIR_LOWER:
             status = (STATUS_REGRESSED if rel > tolerance
@@ -368,7 +373,8 @@ def _diff_one(artefact: str, name: str, base: dict[str, object],
 
 def compare_records(baseline: dict[str, object], current: dict[str, object],
                     *, sim_tolerance: float = SIM_TOLERANCE,
-                    count_tolerance: float = COUNT_TOLERANCE
+                    count_tolerance: float = COUNT_TOLERANCE,
+                    wall_tolerance: float | None = None
                     ) -> ComparisonResult:
     """Diff ``current`` against ``baseline`` with per-kind tolerances.
 
@@ -380,10 +386,17 @@ def compare_records(baseline: dict[str, object], current: dict[str, object],
     * ``count`` metrics (event/span/byte counts) gate at the looser
       ``count_tolerance`` in either direction — drift means behaviour
       changed;
-    * ``wall`` metrics never gate (advisory rows only);
+    * ``wall`` metrics never gate by default (advisory rows only); pass
+      ``wall_tolerance`` to gate them at that (deliberately generous)
+      relative band — the wall-clock tier uses this so a large slowdown
+      fails while scheduler noise does not.  Sim gating stays exact
+      regardless: ``wall_tolerance`` touches only ``wall`` metrics;
     * a metric present in the baseline but missing from the current
       record is a regression; artefacts that were not run at all are
-      skipped with a warning (so subset runs stay useful).
+      skipped with a warning (so subset runs stay useful).  Wall metrics
+      missing from the current record never gate, even with
+      ``wall_tolerance`` set (a non-wall run vs a wall baseline is a
+      subset, not a regression).
     """
     warnings: list[str] = []
     base_env = _t.cast(dict, baseline.get("environment", {}))
@@ -427,7 +440,8 @@ def compare_records(baseline: dict[str, object], current: dict[str, object],
                     rel_change=None, status=STATUS_MISSING))
         else:
             diffs.append(_diff_one(artefact, name, base, cur,
-                                   sim_tolerance, count_tolerance))
+                                   sim_tolerance, count_tolerance,
+                                   wall_tolerance))
     return ComparisonResult(diffs=diffs, warnings=warnings)
 
 
@@ -586,6 +600,7 @@ __all__ = [
     "SCHEMA",
     "SCHEMA_VERSION",
     "SIM_TOLERANCE",
+    "WALL_TOLERANCE",
     "compare_records",
     "environment_fingerprint",
     "git_sha",

@@ -18,12 +18,20 @@ from .errors import SelectionError
 
 
 class CommDescriptorTable:
-    """An ordered, wire-serialisable list of communication descriptors."""
+    """An ordered, wire-serialisable list of communication descriptors.
 
-    __slots__ = ("_entries",)
+    The table carries a :attr:`version` counter that every mutator bumps.
+    Send-path caches (see ``startpoint.Link``) key on it so that the
+    first-applicable scan re-runs exactly when the table's content or
+    order changes, and never otherwise.
+    """
+
+    __slots__ = ("_entries", "version")
 
     def __init__(self, entries: _t.Iterable[Descriptor] = ()):
         self._entries: list[Descriptor] = list(entries)
+        #: Monotone edit counter; bumped by every mutating operation.
+        self.version = 0
 
     # -- collection protocol --------------------------------------------------
 
@@ -59,11 +67,13 @@ class CommDescriptorTable:
             self._entries.append(descriptor)
         else:
             self._entries.insert(position, descriptor)
+        self.version += 1
 
     def remove(self, method: str) -> Descriptor:
         """Delete the first entry for ``method`` and return it."""
         for index, descriptor in enumerate(self._entries):
             if descriptor.method == method:
+                self.version += 1
                 return self._entries.pop(index)
         raise SelectionError(f"descriptor table has no entry for {method!r}")
 
@@ -72,6 +82,7 @@ class CommDescriptorTable:
         for index, existing in enumerate(self._entries):
             if existing.method == method:
                 self._entries[index] = descriptor
+                self.version += 1
                 return
         raise SelectionError(f"descriptor table has no entry for {method!r}")
 
@@ -83,6 +94,7 @@ class CommDescriptorTable:
             listed.append(self.entry(method))
         rest = [d for d in self._entries if d not in listed]
         self._entries = listed + rest
+        self.version += 1
 
     def promote(self, method: str) -> None:
         """Move ``method`` to the front (make it the preferred method)."""

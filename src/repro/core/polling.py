@@ -77,6 +77,25 @@ class PollStats:
         return self.messages.get(method, 0) / fires
 
 
+class _PollPlan:
+    """Precomputed poll-cycle plan (see :meth:`PollManager._ensure_plan`).
+
+    ``entries`` holds one ``(method, transport, poll_cost, steals, k)``
+    tuple per active method, in poll order; ``cycle`` and
+    ``foreign_rate`` are the derived aggregates the wait machinery needs
+    every iteration.  Transport costs are frozen, so the plan only goes
+    stale when the manager's own configuration (methods, skips, mask,
+    disabled/blocking sets) or the transport registry changes.
+    """
+
+    __slots__ = ("entries", "cycle", "foreign_rate")
+
+    def __init__(self, entries: tuple, cycle: float, foreign_rate: float):
+        self.entries = entries
+        self.cycle = cycle
+        self.foreign_rate = foreign_rate
+
+
 class PollManager:
     """Unified multimethod polling for one context."""
 
@@ -85,11 +104,16 @@ class PollManager:
         #: Poll order (descriptor-table order, i.e. fastest first).
         self.methods: list[str] = list(methods)
         self.skip: dict[str, int] = {}
-        self._counters: dict[str, int] = {}
+        #: Per-method skip counters, seeded to 0 for every method here and
+        #: in :meth:`add_method` — hot paths index this dict directly.
+        self._counters: dict[str, int] = {m: 0 for m in self.methods}
         self._mask: frozenset[str] | None = None
         self._disabled: set[str] = set()
         self._blocking: set[str] = set()
         self.stats = PollStats()
+        #: Cached :class:`_PollPlan`; ``None`` means rebuild on next use.
+        self._plan: _PollPlan | None = None
+        self._plan_registry_size = -1
 
     # -- configuration ------------------------------------------------------
 
@@ -98,7 +122,11 @@ class PollManager:
 
         Needed for methods whose descriptors are attached explicitly
         rather than exported by default — e.g. a multicast group joined
-        after context creation.
+        after context creation.  Late-attached methods start from the
+        same deterministic defaults as construction-time ones: a
+        ``skip_poll`` of 1 (polled every cycle until tuned) and a zeroed
+        skip counter, so the phase of their skip decimation does not
+        depend on when the method was attached.
         """
         if method in self.methods:
             return
@@ -108,6 +136,9 @@ class PollManager:
             self.methods.append(method)
         else:
             self.methods.insert(position, method)
+        self.skip.setdefault(method, 1)
+        self._counters.setdefault(method, 0)
+        self._plan = None
 
     def set_skip(self, method: str, value: int) -> None:
         """Set the skip_poll parameter for ``method`` (1 = poll always)."""
@@ -116,18 +147,21 @@ class PollManager:
         if value < 1:
             raise PollingError(f"skip_poll must be >= 1, got {value!r}")
         self.skip[method] = int(value)
+        self._plan = None
 
     def get_skip(self, method: str) -> int:
         return self.skip.get(method, 1)
 
     def enable(self, method: str) -> None:
         self._disabled.discard(method)
+        self._plan = None
 
     def disable(self, method: str) -> None:
         """Stop polling ``method`` entirely (e.g. forwarding targets)."""
         if method not in self.methods:
             raise PollingError(f"context does not poll method {method!r}")
         self._disabled.add(method)
+        self._plan = None
 
     def only(self, *methods: str) -> "_PollMask":
         """Context manager restricting polling to ``methods``.
@@ -164,6 +198,7 @@ class PollManager:
                 )
         else:
             self._blocking.discard(method)
+        self._plan = None
 
     def _blocking_watcher(self, method: str):
         context = self.context
@@ -178,10 +213,21 @@ class PollManager:
 
     # -- the poll cycle ----------------------------------------------------------
 
-    def active_methods(self) -> list[str]:
-        """Methods the cycle will consider, in poll order."""
+    def _ensure_plan(self) -> _PollPlan:
+        """Return the current poll plan, rebuilding it if stale.
+
+        The plan is invalidated explicitly by every configuration mutator
+        (``add_method``/``set_skip``/``enable``/``disable``/
+        ``set_blocking``/mask enter/exit) and implicitly when the
+        transport registry grows (transports are never removed, so a size
+        comparison suffices).
+        """
         registry = self.context.nexus.transports
-        out = []
+        size = len(registry._transports)
+        plan = self._plan
+        if plan is not None and self._plan_registry_size == size:
+            return plan
+        entries: list[tuple] = []
         for method in self.methods:
             if method in self._disabled or method in self._blocking:
                 continue
@@ -189,8 +235,27 @@ class PollManager:
                 continue
             if method not in registry:
                 continue
-            out.append(method)
-        return out
+            transport = registry.get(method)
+            entries.append((method, transport, transport.poll_cost,
+                            transport.steals_device_time,
+                            self.skip.get(method, 1)))
+        # Aggregate in the same order the uncached code summed, so float
+        # results stay bit-identical.
+        cycle = self.context.nexus.runtime_costs.poll_loop_cost
+        for _method, _transport, cost, _steals, k in entries:
+            cycle += cost / k
+        foreign_rate = 0.0
+        for _method, _transport, cost, steals, k in entries:
+            if steals:
+                foreign_rate += (cost / k) / cycle
+        plan = _PollPlan(tuple(entries), cycle, foreign_rate)
+        self._plan = plan
+        self._plan_registry_size = size
+        return plan
+
+    def active_methods(self) -> list[str]:
+        """Methods the cycle will consider, in poll order."""
+        return [entry[0] for entry in self._ensure_plan().entries]
 
     def poll(self):
         """Generator: one run of the unified polling function.
@@ -200,41 +265,62 @@ class PollManager:
         dispatches them.  Returns the number of messages dispatched.
         """
         context = self.context
-        registry = context.nexus.transports
-        self.stats.cycles += 1
+        nexus = context.nexus
+        stats = self.stats
+        stats.cycles += 1
+        counters = self._counters
 
-        firing: list[str] = []
+        # Inlined _ensure_plan() fast path: this generator runs once per
+        # wait-loop iteration, so even the call frame shows up.
+        plan = self._plan
+        if plan is None or self._plan_registry_size != len(
+                nexus.transports._transports):
+            plan = self._ensure_plan()
+
+        fires = stats.fires
+        poll_time = stats.poll_time
+        firing: list[tuple] = []
         total_cost = 0.0
         foreign_cost = 0.0
-        for method in self.active_methods():
-            count = self._counters.get(method, 0) + 1
-            self._counters[method] = count
-            k = self.skip.get(method, 1)
-            if count % k:
+        for entry in plan.entries:
+            method = entry[0]
+            # Plan entries come from ``self.methods``, and ``add_method``
+            # seeds ``_counters`` for each — plain subscript is safe.
+            count = counters[method] + 1
+            counters[method] = count
+            if count % entry[4]:
                 continue
-            transport = registry.get(method)
-            firing.append(method)
-            total_cost += transport.poll_cost
-            if transport.steals_device_time:
-                foreign_cost += transport.poll_cost
-            self.stats.note_fire(method, transport.poll_cost)
+            cost = entry[2]
+            firing.append(entry)
+            total_cost += cost
+            if entry[3]:
+                foreign_cost += cost
+            # Inlined stats.note_fire(method, cost).
+            fires[method] = fires.get(method, 0) + 1
+            poll_time[method] = poll_time.get(method, 0.0) + cost
 
         if total_cost > 0.0:
-            yield from context.charge(total_cost)
+            # Inlined context.charge(total_cost) — one generator fewer
+            # per poll cycle.
+            yield nexus.sim.timeout(total_cost)
         if foreign_cost > 0.0:
             context.foreign_poll_total += foreign_cost
 
         dispatched = 0
-        obs = context.nexus.obs
-        for method in firing:
-            transport = registry.get(method)
+        obs = nexus.obs
+        message_counts = stats.messages
+        for method, transport, _cost, _steals, _k in firing:
             messages = transport.collect(context)
-            self.stats.note_messages(method, len(messages))
+            n = len(messages)
+            if n:
+                # Inlined stats.note_messages(method, n).
+                message_counts[method] = message_counts.get(method, 0) + n
             if obs.enabled:
-                obs.note_poll_batch(method, len(messages))
-            for message in messages:
-                yield from context.dispatch(message)
-                dispatched += 1
+                obs.note_poll_batch(method, n)
+            if n:
+                for message in messages:
+                    yield from context.dispatch(message)
+                dispatched += n
         return dispatched
 
     # -- waiting --------------------------------------------------------------------
@@ -252,20 +338,25 @@ class PollManager:
             event = condition
             # processed, not triggered: a Timeout's value is decided at
             # creation, but it has not *occurred* until the engine runs it.
-            predicate = lambda: event.processed  # noqa: E731
+            predicate = lambda: event.callbacks is None  # noqa: E731
             extra_wake = event
         else:
             predicate = condition
         context = self.context
+        sim = context.nexus.sim
         loop_cost = context.nexus.runtime_costs.poll_loop_cost
+        charge_loop = loop_cost > 0.0
+        poll = self.poll
 
         while True:
             if predicate():
                 return
-            dispatched = yield from self.poll()
+            dispatched = yield from poll()
             if predicate():
                 return
-            yield from context.charge(loop_cost)
+            if charge_loop:
+                # Inlined context.charge(loop_cost).
+                yield sim.timeout(loop_cost)
             if dispatched:
                 continue
             yield from self._idle_fast_forward(extra_wake)
@@ -297,40 +388,32 @@ class PollManager:
 
     def amortized_cycle_time(self) -> float:
         """Average duration of one wait-loop iteration, skips included."""
-        registry = self.context.nexus.transports
-        cycle = self.context.nexus.runtime_costs.poll_loop_cost
-        for method in self.active_methods():
-            transport = registry.get(method)
-            cycle += transport.poll_cost / self.skip.get(method, 1)
-        return cycle
+        return self._ensure_plan().cycle
 
     def _next_known_deliverable(self) -> float | None:
         """Earliest future time an already-in-flight message becomes
         deliverable to a poll, accounting for skip counters and the
         foreign-poll penalty the spin itself will generate."""
         context = self.context
-        registry = context.nexus.transports
-        now = context.nexus.sim.now
-        cycle = self.amortized_cycle_time()
-        # Foreign poll time generated per second of spinning:
-        foreign_rate = 0.0
-        for method in self.active_methods():
-            transport = registry.get(method)
-            if transport.steals_device_time:
-                foreign_rate += (transport.poll_cost
-                                 / self.skip.get(method, 1)) / cycle
+        now = context.nexus.sim._clock._now
+        plan = self._plan
+        if plan is None or self._plan_registry_size != len(
+                context.nexus.transports._transports):
+            plan = self._ensure_plan()
+        cycle = plan.cycle
         overlap = context.nexus.runtime_costs.select_drain_overlap
-        stall_rate = (1.0 - overlap) * foreign_rate
+        stall_rate = (1.0 - overlap) * plan.foreign_rate
 
+        counters = self._counters
+        device_queues = context._device_queues
+        inboxes = context._inboxes
         best: float | None = None
-        for method in self.active_methods():
-            transport = registry.get(method)
-            k = self.skip.get(method, 1)
-            count = self._counters.get(method, 0)
+        for method, _transport, _cost, _steals, k in plan.entries:
+            count = counters[method]
             cycles_to_fire = k - (count % k)  # cycles until next check
             candidate: float | None = None
 
-            queue = context.device_queue(method)
+            queue = device_queues.get(method)
             if queue:
                 head = queue[0]
                 penalty = (1.0 - overlap) * (context.foreign_poll_total
@@ -344,7 +427,8 @@ class PollManager:
                     candidate = now + (base - now) / (1.0 - stall_rate)
                 else:  # pragma: no cover - degenerate configuration
                     candidate = base
-            if not context.inbox(method).is_empty:
+            store = inboxes.get(method)
+            if store is not None and store.items:
                 # Fast-forward to just before the firing cycle: the *real*
                 # poll after the bulk spin must be the one that fires
                 # (spinning one cycle too far would leave the counter at
@@ -361,32 +445,35 @@ class PollManager:
         """Charge ``elapsed`` seconds of wait-loop spinning in aggregate:
         advance skip counters, accumulate poll costs and foreign time."""
         context = self.context
-        registry = context.nexus.transports
-        cycle = self.amortized_cycle_time()
+        plan = self._plan
+        if plan is None or self._plan_registry_size != len(
+                context.nexus.transports._transports):
+            plan = self._ensure_plan()
+        cycle = plan.cycle
         # Floor with a float guard: a fast-forward of exactly n cycles must
         # advance the counters by exactly n.
         iterations = int(elapsed / cycle + 1e-9)
         if iterations <= 0:
             return
-        self.stats.cycles += iterations
+        stats = self.stats
+        stats.cycles += iterations
+        counters = self._counters
         foreign_added = 0.0
-        for method in self.active_methods():
-            transport = registry.get(method)
-            k = self.skip.get(method, 1)
-            count = self._counters.get(method, 0)
+        for method, _transport, cost, steals, k in plan.entries:
+            count = counters[method]
             fires = (count + iterations) // k - count // k
-            self._counters[method] = count + iterations
+            counters[method] = count + iterations
             if fires:
-                self.stats.note_fire(method, transport.poll_cost * fires,
-                                     count=fires)
-                if transport.steals_device_time:
-                    foreign_added += transport.poll_cost * fires
+                stats.note_fire(method, cost * fires, count=fires)
+                if steals:
+                    foreign_added += cost * fires
         if foreign_added:
             context.foreign_poll_total += foreign_added
             # Messages that *arrived during* the window must not be
             # penalised for spin time that preceded their arrival.
-            for method in self.active_methods():
-                for transit in context.device_queue(method):
+            device_queues = context._device_queues
+            for method, _transport, _cost, _steals, _k in plan.entries:
+                for transit in device_queues.get(method, ()):
                     if transit.arrival_start >= window_start - _EPS:
                         transit.foreign_at_arrival = max(
                             transit.foreign_at_arrival,
@@ -410,23 +497,21 @@ class PollManager:
         if n_ops < 0:
             raise PollingError(f"negative op count {n_ops!r}")
         context = self.context
-        registry = context.nexus.transports
         self.stats.bulk_ops += n_ops
         self.stats.cycles += n_ops
 
         total_cost = float(compute_time)
         foreign_cost = 0.0
-        for method in self.active_methods():
-            transport = registry.get(method)
-            k = self.skip.get(method, 1)
-            count = self._counters.get(method, 0)
+        counters = self._counters
+        for method, _transport, poll_cost, steals, k in self._ensure_plan().entries:
+            count = counters.get(method, 0)
             fires = (count + n_ops) // k - count // k
-            self._counters[method] = count + n_ops
+            counters[method] = count + n_ops
             if fires:
-                cost = transport.poll_cost * fires
+                cost = poll_cost * fires
                 total_cost += cost
                 self.stats.note_fire(method, cost, count=fires)
-                if transport.steals_device_time:
+                if steals:
                     foreign_cost += cost
 
         if total_cost > 0.0:
@@ -451,7 +536,9 @@ class _PollMask:
     def __enter__(self) -> PollManager:
         self._saved = self.manager._mask
         self.manager._mask = self.methods
+        self.manager._plan = None
         return self.manager
 
     def __exit__(self, *exc: object) -> None:
         self.manager._mask = self._saved
+        self.manager._plan = None

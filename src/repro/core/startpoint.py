@@ -74,7 +74,7 @@ class Link:
     """One live startpoint→endpoint connection with its chosen method."""
 
     __slots__ = ("context_id", "endpoint_id", "table", "comm",
-                 "health_epoch")
+                 "health_epoch", "table_version")
 
     def __init__(self, context_id: int, endpoint_id: int,
                  table: CommDescriptorTable):
@@ -87,6 +87,10 @@ class Link:
         #: Health-tracker epoch the current method was selected under;
         #: a mismatch forces re-selection (methods went down or came up).
         self.health_epoch = -1
+        #: Descriptor-table version the current method was selected
+        #: under; a mismatch means the table was edited or reordered
+        #: since, which may change what first-applicable picks.
+        self.table_version = -1
 
     @property
     def method(self) -> str | None:
@@ -143,19 +147,21 @@ class Startpoint:
                          excluded: _t.Collection[str] = ()) -> CommObject:
         """Select a healthy method for ``link`` and return its comm object.
 
-        The happy path is two comparisons: with a selected method, an
-        unchanged health epoch, and no cool-off expiry pending, the
-        cached comm object is returned untouched.  Otherwise the link's
-        descriptor table is rescanned *minus* down/``excluded`` methods —
-        the paper's first-applicable rule reused as a degradation
-        ladder.  Raises :class:`SelectionError` when no healthy,
-        applicable method remains.
+        The happy path is a handful of comparisons: with a selected
+        method, an unchanged descriptor-table version, an unchanged
+        health epoch, and no cool-off expiry pending, the cached comm
+        object is returned untouched.  Otherwise the link's descriptor
+        table is rescanned *minus* down/``excluded`` methods — the
+        paper's first-applicable rule reused as a degradation ladder.
+        Raises :class:`SelectionError` when no healthy, applicable
+        method remains.
         """
         context = self.context
         health = context.health
         if (link.comm is not None and not excluded
+                and link.table_version == link.table.version
                 and link.health_epoch == health.epoch
-                and context.nexus.sim.now < health.next_probe_at):
+                and context.nexus.sim._clock._now < health.next_probe_at):
             return link.comm
         down = health.down_methods(link.context_id)
         unavailable = set(down) | set(excluded)
@@ -180,6 +186,7 @@ class Startpoint:
             raise
         link.comm = context.comm_object_for(descriptor)
         link.health_epoch = health.epoch
+        link.table_version = link.table.version
         return link.comm
 
     def set_method(self, method: str) -> None:
@@ -188,9 +195,13 @@ class Startpoint:
         Implements the paper's dynamic method change: "constructing a new
         communication object and storing a reference to that object in the
         startpoint".  Raises :class:`SelectionError` if any link's table
-        lacks an applicable entry for ``method``.
+        lacks an applicable entry for ``method``.  The manual choice is
+        stamped into the link's selection cache, so it sticks until the
+        health tracker's epoch moves or the table is edited — the same
+        invalidation rules as an automatic selection.
         """
         registry = self.context.nexus.transports
+        health = self.context.health
         for link in self.links:
             descriptor = link.table.entry(method)
             remote_host = self.context.nexus.context_host(link.context_id)
@@ -201,6 +212,8 @@ class Startpoint:
                     f"context {link.context_id}"
                 )
             link.comm = self.context.comm_object_for(descriptor)
+            link.health_epoch = health.epoch
+            link.table_version = link.table.version
 
     def current_methods(self) -> list[str | None]:
         """Selected method per link (None where not yet selected)."""
@@ -233,7 +246,10 @@ class Startpoint:
         marshal = (obs.open_span("marshal", rsr=issue.rsr, ctx=context.id,
                                  parent=issue.id)
                    if issue is not None else None)
-        yield from context.charge(nexus.runtime_costs.rsr_send_overhead)
+        overhead = nexus.runtime_costs.rsr_send_overhead
+        if overhead > 0:
+            # Inlined context.charge(overhead) — one generator fewer per RSR.
+            yield nexus.sim.timeout(overhead)
         if marshal is not None:
             obs.close_span(marshal)
 
@@ -277,7 +293,6 @@ class Startpoint:
         obs = nexus.obs
         health = context.health
         policy = nexus.retry_policy
-        rng = nexus.streams.stream("retry")
         excluded: set[str] = set()
 
         while True:
@@ -300,7 +315,10 @@ class Startpoint:
                             lane=method, parent=issue.id, attempt=attempt)
                 if attempt > 0:
                     nexus.tracer.incr("nexus.rsr_retries")
-                    delay = policy.delay(attempt - 1, rng)
+                    # The stream is fetched lazily: the no-fault fast path
+                    # never backs off, so it never pays for the lookup.
+                    delay = policy.delay(attempt - 1,
+                                         nexus.streams.stream("retry"))
                     if delay > 0:
                         yield nexus.sim.timeout(delay)
                     if health.is_down(link.context_id, method):

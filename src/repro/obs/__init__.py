@@ -56,6 +56,8 @@ if _t.TYPE_CHECKING:  # pragma: no cover
 _default_observe = False
 #: Active collector of (Observability, Nexus) pairs, or None.
 _collector: list[tuple[Observability, "Nexus | None"]] | None = None
+#: Active watcher of Nexus instances (tracing left untouched), or None.
+_watcher: list["Nexus"] | None = None
 
 
 def observe_by_default(enabled: bool) -> None:
@@ -90,11 +92,34 @@ def collecting() -> _t.Iterator[list[tuple[Observability, "Nexus | None"]]]:
         _collector, _default_observe = saved_collector, saved_default
 
 
+@contextlib.contextmanager
+def watching_runtimes() -> _t.Iterator[list["Nexus"]]:
+    """Collect every Nexus created in this scope *without* enabling tracing.
+
+    Unlike :func:`collecting`, the ambient observe default is left alone,
+    so the watched code runs exactly as it would unobserved.  This is how
+    the wall-clock benchmark tier counts simulator events per run
+    (``nexus.sim.events_processed``) without tracing overhead distorting
+    the very wall time being measured.
+    """
+    global _watcher
+    saved = _watcher
+    watched: list["Nexus"] = []
+    _watcher = watched
+    try:
+        yield watched
+    finally:
+        _watcher = saved
+
+
 def note_runtime(obs: Observability, nexus: "Nexus | None") -> None:
     """Called by Nexus construction; registers enabled runtimes with the
-    active :func:`collecting` scope, if any."""
+    active :func:`collecting` scope and/or :func:`watching_runtimes`
+    scope, if any."""
     if _collector is not None and obs.enabled:
         _collector.append((obs, nexus))
+    if _watcher is not None and nexus is not None:
+        _watcher.append(nexus)
 
 
 __all__ = [
@@ -115,4 +140,5 @@ __all__ = [
     "export",
     "note_runtime",
     "observe_by_default",
+    "watching_runtimes",
 ]

@@ -155,25 +155,30 @@ class MessageTrace:
                 span.attrs = {}
             span.attrs["dropped"] = True
             self.obs.close_span(span)
-        self.obs.metrics.counter("rsr_dropped", method=self.lane).inc()
+        self.obs._counter_handle("rsr_dropped", self.lane).inc()
         self.current = None
 
     def finish(self, now: float, *, threaded: bool = False) -> None:
         """Close the final span and record end-to-end latency metrics."""
+        obs = self.obs
         span = self.current
         if span is not None and span.end is None:
             if threaded:
                 if span.attrs is None:
                     span.attrs = {}
                 span.attrs["threaded"] = True
-            self.obs.close_span(span)
+            obs.close_span(span)
         self.current = None
-        self.obs.rsrs_finished += 1
-        self.obs.metrics.histogram(
-            "rsr_latency_us", LATENCY_BUCKETS_US, method=self.lane,
-        ).observe((now - self.issued_at) * 1e6)
+        obs.rsrs_finished += 1
+        lane = self.lane
+        hist = obs._latency_hist.get(lane)
+        if hist is None:
+            hist = obs.metrics.histogram(
+                "rsr_latency_us", LATENCY_BUCKETS_US, method=lane)
+            obs._latency_hist[lane] = hist
+        hist.observe((now - self.issued_at) * 1e6)
         if self.hops:
-            self.obs.metrics.counter("rsr_forwarded", method=self.lane).inc()
+            obs._counter_handle("rsr_forwarded", lane).inc()
 
 
 class Observability:
@@ -199,6 +204,24 @@ class Observability:
         self._max_spans = max_spans
         self._next_span = 1
         self._next_rsr = 1
+        # Instrument-handle caches: the registry's (name, sorted-labels)
+        # lookup sorts a label tuple per call, which is measurable when a
+        # traced run closes a span per lifecycle phase per message.  The
+        # label sets here are tiny (phases × lanes), so plain dicts keyed
+        # on the raw values resolve each handle once.
+        self._phase_hist: dict[tuple[str, str], object] = {}
+        self._latency_hist: dict[str, object] = {}
+        self._batch_hist: dict[str, object] = {}
+        self._counters: dict[tuple[str, str], object] = {}
+
+    def _counter_handle(self, name: str, method: str):
+        """Cached counter handle for a ``method``-labelled counter."""
+        key = (name, method)
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self.metrics.counter(name, method=method)
+            self._counters[key] = counter
+        return counter
 
     # -- span primitives -----------------------------------------------------
 
@@ -220,11 +243,15 @@ class Observability:
     def close_span(self, span: Span | None) -> None:
         if span is None:
             return
-        span.end = self.sim.now
-        self.metrics.histogram(
-            "rsr_phase_us", LATENCY_BUCKETS_US,
-            phase=span.phase, lane=span.lane,
-        ).observe((span.end - span.start) * 1e6)
+        end = span.end = self.sim.now
+        key = (span.phase, span.lane)
+        hist = self._phase_hist.get(key)
+        if hist is None:
+            hist = self.metrics.histogram(
+                "rsr_phase_us", LATENCY_BUCKETS_US,
+                phase=span.phase, lane=span.lane)
+            self._phase_hist[key] = hist
+        hist.observe((end - span.start) * 1e6)
 
     # -- RSR lifecycle entry points ------------------------------------------
 
@@ -244,8 +271,12 @@ class Observability:
 
     def note_poll_batch(self, method: str, found: int) -> None:
         """Record how many messages one poll of ``method`` found."""
-        self.metrics.histogram("poll_batch", COUNT_BUCKETS,
-                               method=method).observe(float(found))
+        hist = self._batch_hist.get(method)
+        if hist is None:
+            hist = self.metrics.histogram("poll_batch", COUNT_BUCKETS,
+                                          method=method)
+            self._batch_hist[method] = hist
+        hist.observe(float(found))
 
     # -- queries -------------------------------------------------------------
 

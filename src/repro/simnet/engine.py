@@ -7,6 +7,25 @@ processes) so that the behaviour of every experiment in this repository is
 **deterministic**: the same program and seed always produce exactly the
 same event ordering and the same virtual-time measurements.
 
+Queue layout (the performance-sensitive part; see the "Performance
+model" section of ``docs/ARCHITECTURE.md``):
+
+* delayed events live in a binary heap of ``(t, priority, seq, entry)``;
+* zero-delay NORMAL and URGENT events — the bulk of traffic, produced by
+  ``succeed()``/``fail()`` during callback processing — live in two FIFO
+  deques, one per priority.  A deque is intrinsically sorted because the
+  clock is monotone and sequence numbers only grow, so these events skip
+  ``heappush``/``heappop`` entirely;
+* each step picks the global minimum of the three heads by plain tuple
+  comparison, which preserves the exact ``(t, priority, seq)`` total
+  order of a single heap.
+
+Cancelled events (:meth:`Event.cancel`) are deleted lazily: the queue
+entry stays where it is and is discarded when it surfaces, without
+advancing the clock, running callbacks, or counting towards
+``events_processed``.  A compaction pass bounds memory when cancelled
+entries dominate.
+
 Typical usage::
 
     sim = Simulator()
@@ -22,17 +41,21 @@ Typical usage::
 
 from __future__ import annotations
 
+import functools
 import heapq
 import typing as _t
+from collections import deque
 
 from .clock import VirtualClock
 from .errors import ScheduleError, SimnetError, SimulationFinished
-from .events import Event, NORMAL, Timeout, AllOf, AnyOf
+from .events import Event, NORMAL, URGENT, Timeout, AllOf, AnyOf
 from .process import Process, ProcessGenerator
 
 #: Default cap on processed events per ``run()``; a safety net against
 #: accidental infinite poll loops in experiments.
 DEFAULT_MAX_EVENTS = 500_000_000
+
+_INF = float("inf")
 
 
 class Simulator:
@@ -40,17 +63,31 @@ class Simulator:
 
     def __init__(self, start: float = 0.0):
         self._clock = VirtualClock(start)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        #: Delayed events (and zero-delay events at non-standard
+        #: priorities): a heap of ``(t, priority, seq, event)``.
+        self._heap: list[tuple[float, int, int, Event]] = []
+        #: Zero-delay events, FIFO per priority.  Sorted by construction.
+        self._ready_urgent: deque[tuple[float, int, int, Event]] = deque()
+        self._ready_normal: deque[tuple[float, int, int, Event]] = deque()
         self._seq = 0
         self._active_process: Process | None = None
         self._events_processed = 0
+        #: Cancelled entries still sitting in the queue (lazy deletion).
+        self._cancelled_count = 0
+        # Shadow the ``timeout`` method with a C-level partial: timeouts
+        # are created hundreds of thousands of times per run and the
+        # wrapper frame was measurable.  ``Timeout`` validates the delay
+        # and defaults value/priority/name itself, so the binding is
+        # behaviourally identical (the method below stays as the
+        # documented signature).
+        self.timeout = functools.partial(Timeout, self)
 
     # -- time --------------------------------------------------------------
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
-        return self._clock.now
+        return self._clock._now
 
     @property
     def active_process(self) -> Process | None:
@@ -59,7 +96,9 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        """Total number of events processed since construction."""
+        """Total number of events processed since construction.
+
+        Cancelled events discarded by lazy deletion do not count."""
         return self._events_processed
 
     # -- event creation ------------------------------------------------------
@@ -71,7 +110,7 @@ class Simulator:
     def timeout(self, delay: float, value: object = None,
                 name: str | None = None) -> Timeout:
         """An event that fires ``delay`` simulated seconds from now."""
-        return Timeout(self, delay, value=value, name=name)
+        return Timeout(self, delay, value, NORMAL, name)
 
     def all_of(self, events: _t.Iterable[Event]) -> AllOf:
         """An event that fires when every event in ``events`` has fired."""
@@ -93,39 +132,133 @@ class Simulator:
 
     def _enqueue(self, event: Event, delay: float = 0.0,
                  priority: int = NORMAL) -> None:
-        if delay < 0:
-            raise ScheduleError(f"negative delay {delay!r} for {event!r}")
         if event._scheduled:
             raise ScheduleError(f"{event!r} is already scheduled")
+        if delay < 0:
+            raise ScheduleError(f"negative delay {delay!r} for {event!r}")
         event._scheduled = True
-        self._seq += 1
-        heapq.heappush(self._queue, (self._clock.now + delay, priority,
-                                     self._seq, event))
+        seq = self._seq + 1
+        self._seq = seq
+        now = self._clock._now
+        if delay == 0.0:
+            # Zero-delay events at standard priorities bypass the heap:
+            # the clock never moves backwards and seq only grows, so a
+            # plain append keeps each deque sorted.
+            if priority == NORMAL:
+                self._ready_normal.append((now, NORMAL, seq, event))
+                return
+            if priority == URGENT:
+                self._ready_urgent.append((now, URGENT, seq, event))
+                return
+        heapq.heappush(self._heap, (now + delay, priority, seq, event))
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook called by :meth:`Event.cancel`."""
+        self._cancelled_count += 1
+        # Compact once cancelled entries dominate, so a cancel storm
+        # cannot hold memory proportional to history.
+        if self._cancelled_count > 64 and self._cancelled_count * 2 > (
+                len(self._heap) + len(self._ready_urgent)
+                + len(self._ready_normal)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Physically remove cancelled entries from all queue sources.
+
+        Mutates the containers in place — ``run()``/``step()`` hold direct
+        references to them, so they must never be rebound.
+        """
+        self._heap[:] = [e for e in self._heap if not e[3]._cancelled]
+        heapq.heapify(self._heap)
+        for ready in (self._ready_urgent, self._ready_normal):
+            live = [e for e in ready if not e[3]._cancelled]
+            if len(live) != len(ready):
+                ready.clear()
+                ready.extend(live)
+        self._cancelled_count = 0
 
     # -- execution -----------------------------------------------------------
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next live scheduled event, or ``inf`` if none.
+
+        Cancelled entries encountered at the head are discarded here (lazy
+        deletion), so ``peek()`` never reports the time of an event that
+        will not run.
+        """
+        heap = self._heap
+        urgent = self._ready_urgent
+        normal = self._ready_normal
+        while True:
+            entry = urgent[0] if urgent else None
+            if normal:
+                e = normal[0]
+                if entry is None or e < entry:
+                    entry = e
+            if heap:
+                e = heap[0]
+                if entry is None or e < entry:
+                    entry = e
+            if entry is None:
+                return _INF
+            if not entry[3]._cancelled:
+                return entry[0]
+            if urgent and urgent[0] is entry:
+                urgent.popleft()
+            elif normal and normal[0] is entry:
+                normal.popleft()
+            else:
+                heapq.heappop(heap)
+            self._cancelled_count -= 1
 
     def step(self) -> None:
-        """Process exactly one event (advance the clock to it first)."""
-        if not self._queue:
-            raise SimnetError("step() on an empty event queue")
-        t, _prio, _seq, event = heapq.heappop(self._queue)
-        self._clock.advance_to(t)
+        """Process exactly one live event (advance the clock to it first).
+
+        Cancelled entries reached at the head of the queue are silently
+        discarded without advancing the clock or counting as processed.
+        """
+        heap = self._heap
+        urgent = self._ready_urgent
+        normal = self._ready_normal
+        # Select the global minimum (t, priority, seq) across the three
+        # sources; same total order as a single heap would give.
+        while True:
+            entry = urgent[0] if urgent else None
+            if normal:
+                e = normal[0]
+                if entry is None or e < entry:
+                    entry = e
+            if heap:
+                e = heap[0]
+                if entry is None or e < entry:
+                    entry = e
+            if entry is None:
+                raise SimnetError("step() on an empty event queue")
+            if urgent and urgent[0] is entry:
+                urgent.popleft()
+            elif normal and normal[0] is entry:
+                normal.popleft()
+            else:
+                heapq.heappop(heap)
+            event = entry[3]
+            if not event._cancelled:
+                break
+            self._cancelled_count -= 1
+
+        t = entry[0]
+        clock = self._clock
+        if t > clock._now:
+            clock._now = t
         self._events_processed += 1
 
         callbacks = event.callbacks
         event.callbacks = None  # mark processed
-        assert callbacks is not None
         for callback in callbacks:
             callback(event)
 
         if not event._ok and not event._defused:
             # A failure nobody handled: surface it instead of dropping it.
-            exc = _t.cast(BaseException, event._value)
-            raise exc
+            raise _t.cast(BaseException, event._value)
 
     def run(self, until: float | Event | None = None,
             max_events: int = DEFAULT_MAX_EVENTS) -> object:
@@ -149,52 +282,125 @@ class Simulator:
         otherwise ``None``.
         """
         stop_time: float | None = None
+        until_event: Event | None = None
+        finish: _t.Callable[[Event], None] | None = None
         if isinstance(until, Event):
-            if until.processed:
-                if not until.ok:
-                    raise _t.cast(BaseException, until.value)
-                return until.value
+            if until.callbacks is None:  # already processed
+                if not until._ok:
+                    raise _t.cast(BaseException, until._value)
+                return until._value
+            until_event = until
 
-            def _finish(event: Event) -> None:
+            def finish(event: Event) -> None:
                 raise SimulationFinished(event)
 
-            assert until.callbacks is not None
-            until.callbacks.append(_finish)
+            until.callbacks.append(finish)
         elif until is not None:
             stop_time = float(until)
-            if stop_time < self.now:
+            if stop_time < self._clock._now:
                 raise ScheduleError(
                     f"run(until={stop_time!r}) is in the past (now={self.now!r})"
                 )
 
         processed = 0
+        clock = self._clock
+        heap = self._heap
+        urgent = self._ready_urgent
+        normal = self._ready_normal
+        heappop = heapq.heappop
+        # ``_events_processed`` is kept in a local for the duration of the
+        # loop (one attribute store per event adds up); the finally block
+        # writes it back on every exit path, so external readers — all of
+        # which run after run() returns — always see the true count.
+        events_processed = self._events_processed
         try:
-            while self._queue:
-                if stop_time is not None and self.peek() >= stop_time:
-                    self._clock.advance_to(stop_time)
+            # Inlined selection + step body: this loop drives every
+            # event of a run, so it avoids the peek()/step() call pair
+            # (and the duplicate head selection the pair would do).
+            # Any change here must be mirrored in step()/peek().
+            while True:
+                entry = urgent[0] if urgent else None
+                if normal:
+                    e = normal[0]
+                    if entry is None or e < entry:
+                        entry = e
+                if heap:
+                    e = heap[0]
+                    if entry is None or e < entry:
+                        entry = e
+                if entry is None:
+                    break
+                event = entry[3]
+                if event._cancelled:
+                    if urgent and urgent[0] is entry:
+                        urgent.popleft()
+                    elif normal and normal[0] is entry:
+                        normal.popleft()
+                    else:
+                        heappop(heap)
+                    self._cancelled_count -= 1
+                    continue
+                t = entry[0]
+                if stop_time is not None and t >= stop_time:
+                    clock.advance_to(stop_time)
                     return None
                 if processed >= max_events:
                     raise SimnetError(
                         f"run() exceeded max_events={max_events}; "
                         "likely an unbounded poll loop"
                     )
-                self.step()
+                if urgent and urgent[0] is entry:
+                    urgent.popleft()
+                elif normal and normal[0] is entry:
+                    normal.popleft()
+                else:
+                    heappop(heap)
+                if t > clock._now:
+                    clock._now = t
+                events_processed += 1
                 processed += 1
+
+                callbacks = event.callbacks
+                event.callbacks = None  # mark processed
+                if len(callbacks) == 1:
+                    # Nearly every event wakes exactly one process; skip
+                    # the iterator for that case.
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event._defused:
+                    raise _t.cast(BaseException, event._value)
         except SimulationFinished as finished:
             event = _t.cast(Event, finished.value)
-            if not event.ok:
+            if not event._ok:
                 event.defuse()
-                raise _t.cast(BaseException, event.value) from None
-            return event.value
+                raise _t.cast(BaseException, event._value) from None
+            return event._value
+        finally:
+            self._events_processed = events_processed
+            # Detach the finish callback if the run ended without
+            # processing ``until`` (max_events abort, queue ran dry):
+            # a stale closure here would raise SimulationFinished through
+            # an unrelated later run() call.
+            if finish is not None and until_event is not None \
+                    and until_event.callbacks is not None:
+                try:
+                    until_event.callbacks.remove(finish)
+                except ValueError:
+                    pass
 
-        if isinstance(until, Event):
+        if until_event is not None:
             raise SimnetError(
-                f"event queue ran dry before {until!r} was triggered (deadlock?)"
+                f"event queue ran dry before {until_event!r} was triggered "
+                "(deadlock?)"
             )
         if stop_time is not None:
-            self._clock.advance_to(stop_time)
+            clock.advance_to(stop_time)
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (f"<Simulator now={self.now!r} queued={len(self._queue)} "
+        queued = (len(self._heap) + len(self._ready_urgent)
+                  + len(self._ready_normal))
+        return (f"<Simulator now={self.now!r} queued={queued} "
                 f"processed={self._events_processed}>")

@@ -9,14 +9,22 @@ on by ``yield``-ing it.  Events move through three states:
 * *processed* — the simulator has invoked the event's callbacks (which is
   what resumes waiting processes).
 
+A *scheduled* event may additionally be :meth:`cancel`-led: the engine
+then discards it when it reaches the head of the queue (lazy deletion —
+see :mod:`repro.simnet.engine`) without advancing the clock, running
+callbacks, or counting it as a processed event.
+
 The design follows the classic SimPy shape but is implemented from scratch
 and trimmed to what the Nexus reproduction needs: plain events, timeouts,
-and ``AllOf``/``AnyOf`` condition events.
+and ``AllOf``/``AnyOf`` condition events.  Constructors are deliberately
+flat (no ``super().__init__`` chains on the hot path) because the
+simulator allocates hundreds of thousands of these per run.
 """
 
 from __future__ import annotations
 
 import typing as _t
+from heapq import heappush
 
 from .errors import EventError, ScheduleError
 
@@ -44,7 +52,8 @@ class Event:
         Optional debugging label shown in ``repr``.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_defused", "name")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled",
+                 "_defused", "_cancelled", "name")
 
     def __init__(self, sim: "Simulator", name: str | None = None):
         self.sim = sim
@@ -55,6 +64,7 @@ class Event:
         self._ok: bool | None = None
         self._scheduled = False
         self._defused = False
+        self._cancelled = False
         self.name = name
 
     # -- state ----------------------------------------------------------
@@ -68,6 +78,11 @@ class Event:
     def processed(self) -> bool:
         """True once the simulator has run this event's callbacks."""
         return self.callbacks is None
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._cancelled
 
     @property
     def ok(self) -> bool:
@@ -93,9 +108,23 @@ class Event:
         """
         if self._value is not PENDING:
             raise EventError(f"{self!r} has already been triggered")
+        if self._cancelled:
+            raise EventError(f"{self!r} has been cancelled")
+        if self._scheduled:
+            raise ScheduleError(f"{self!r} is already scheduled")
         self._ok = True
         self._value = value
-        self.sim._enqueue(self, delay=0.0, priority=priority)
+        # Inlined Simulator._enqueue (zero-delay case).
+        self._scheduled = True
+        sim = self.sim
+        seq = sim._seq + 1
+        sim._seq = seq
+        if priority == NORMAL:
+            sim._ready_normal.append((sim._clock._now, NORMAL, seq, self))
+        elif priority == URGENT:
+            sim._ready_urgent.append((sim._clock._now, URGENT, seq, self))
+        else:
+            heappush(sim._heap, (sim._clock._now, priority, seq, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -108,12 +137,48 @@ class Event:
         """
         if self._value is not PENDING:
             raise EventError(f"{self!r} has already been triggered")
+        if self._cancelled:
+            raise EventError(f"{self!r} has been cancelled")
         if not isinstance(exception, BaseException):
             raise EventError(f"fail() needs an exception, got {exception!r}")
+        if self._scheduled:
+            raise ScheduleError(f"{self!r} is already scheduled")
         self._ok = False
         self._value = exception
-        self.sim._enqueue(self, delay=0.0, priority=priority)
+        # Inlined Simulator._enqueue (zero-delay case).
+        self._scheduled = True
+        sim = self.sim
+        seq = sim._seq + 1
+        sim._seq = seq
+        if priority == NORMAL:
+            sim._ready_normal.append((sim._clock._now, NORMAL, seq, self))
+        elif priority == URGENT:
+            sim._ready_urgent.append((sim._clock._now, URGENT, seq, self))
+        else:
+            heappush(sim._heap, (sim._clock._now, priority, seq, self))
         return self
+
+    def cancel(self) -> bool:
+        """Lazily cancel a *scheduled* event (typically a timeout).
+
+        The queue entry is left in place and discarded when it surfaces
+        (lazy deletion): no heap re-sift, no callbacks, no clock advance,
+        and no contribution to ``events_processed``.  Returns True if the
+        event was cancelled by this call, False if it was already
+        processed (too late) or already cancelled.  Cancelling an event
+        that was never scheduled is an error — there is nothing queued to
+        discard.
+
+        The caller owns the consequences: processes still waiting on a
+        cancelled event are never resumed by it.
+        """
+        if self.callbacks is None or self._cancelled:
+            return False
+        if not self._scheduled:
+            raise EventError(f"cannot cancel unscheduled {self!r}")
+        self._cancelled = True
+        self.sim._note_cancelled()
+        return True
 
     def defuse(self) -> None:
         """Mark a failed event as handled so the simulator won't re-raise."""
@@ -134,6 +199,7 @@ class Event:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         label = self.name or self.__class__.__name__
         state = (
+            "cancelled" if self._cancelled else
             "processed" if self.processed else
             "triggered" if self.triggered else "pending"
         )
@@ -153,11 +219,30 @@ class Timeout(Event):
                  priority: int = NORMAL, name: str | None = None):
         if delay < 0:
             raise ScheduleError(f"negative timeout delay {delay!r}")
-        super().__init__(sim, name=name)
-        self.delay = float(delay)
+        # Flattened Event.__init__ and inlined Simulator._enqueue — this
+        # constructor runs once per simulated delay, i.e. hundreds of
+        # thousands of times per run.  A fresh timeout cannot already be
+        # scheduled and the delay was validated above, so the only
+        # remaining work is routing the queue entry.
+        self.sim = sim
+        self.callbacks = []
         self._ok = True
         self._value = value
-        sim._enqueue(self, delay=self.delay, priority=priority)
+        self._scheduled = True
+        self._defused = False
+        self._cancelled = False
+        self.name = name
+        delay = self.delay = float(delay)
+        seq = sim._seq + 1
+        sim._seq = seq
+        if delay == 0.0:
+            if priority == NORMAL:
+                sim._ready_normal.append((sim._clock._now, NORMAL, seq, self))
+                return
+            if priority == URGENT:
+                sim._ready_urgent.append((sim._clock._now, URGENT, seq, self))
+                return
+        heappush(sim._heap, (sim._clock._now + delay, priority, seq, self))
 
 
 class ConditionValue:
@@ -207,14 +292,16 @@ class Condition(Event):
     exception (and the child is defused, since the condition now owns it).
     """
 
-    __slots__ = ("_events", "_check", "_remaining")
+    __slots__ = ("_events", "_check", "_done")
 
     def __init__(self, sim: "Simulator", check: _t.Callable[[int, int], bool],
                  events: _t.Iterable[Event], name: str | None = None):
         super().__init__(sim, name=name)
         self._events = list(events)
         self._check = check
-        self._remaining = 0
+        #: Count of processed children — kept incrementally so each child
+        #: completion is O(1) instead of a rescan of every constituent.
+        self._done = 0
         for event in self._events:
             if event.sim is not sim:
                 raise EventError("condition mixes events from different simulators")
@@ -224,26 +311,25 @@ class Condition(Event):
             return
 
         for event in self._events:
-            if event.processed:
+            if event.callbacks is None:
                 self._on_child(event)
             else:
-                assert event.callbacks is not None
                 event.callbacks.append(self._on_child)
 
     def _done_children(self) -> list[Event]:
         # Processed, not merely triggered: a Timeout carries its value from
         # creation, so "value decided" must not count as "has occurred".
-        return [e for e in self._events if e.processed]
+        return [e for e in self._events if e.callbacks is None]
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
-        if not event.ok:
+        if not event._ok:
             event.defuse()
             self.fail(_t.cast(BaseException, event.value))
             return
-        done = len(self._done_children())
-        if self._check(len(self._events), done):
+        self._done += 1
+        if self._check(len(self._events), self._done):
             self.succeed(ConditionValue(self._done_children()))
 
 

@@ -97,23 +97,30 @@ class Process(Event):
         """Advance the generator with ``event``'s outcome (engine-internal)."""
         sim = self.sim
         sim._active_process = self
+        # Localise the loop-invariant lookups: this method runs once per
+        # suspension point of every process, i.e. it is the single hottest
+        # function in the whole simulator.  ``_interrupts`` is never
+        # rebound (and a process cannot interrupt itself, so it cannot
+        # change under our feet while the generator runs).
+        gen = self.gen
+        interrupts = self._interrupts
         try:
             while True:
                 try:
-                    if self._interrupts:
-                        interrupt = self._interrupts.pop(0)
-                        target = self.gen.throw(interrupt)
-                    elif event is not None and not event.ok:
-                        event.defuse()
-                        target = self.gen.throw(_t.cast(BaseException, event.value))
+                    if interrupts:
+                        interrupt = interrupts.pop(0)
+                        target = gen.throw(interrupt)
+                    elif event is not None and not event._ok:
+                        event._defused = True
+                        target = gen.throw(_t.cast(BaseException, event._value))
                     else:
-                        target = self.gen.send(event.value if event is not None else None)
+                        target = gen.send(event._value if event is not None else None)
                 except StopIteration as stop:
-                    if not self.triggered:
+                    if self._value is PENDING:
                         self.succeed(stop.value)
                     return
                 except BaseException as exc:
-                    if not self.triggered:
+                    if self._value is PENDING:
                         self.fail(exc)
                         return
                     raise
@@ -136,16 +143,16 @@ class Process(Event):
                     )
                     continue
 
-                if target.processed:
-                    # Already done: loop around immediately with its outcome.
+                callbacks = target.callbacks
+                if callbacks is None:
+                    # Already processed: loop around with its outcome.
                     event = target
                     continue
 
                 # Genuinely pending (or triggered-but-unprocessed): register
                 # and suspend.
                 self._target = target
-                assert target.callbacks is not None
-                target.callbacks.append(self._resume)
+                callbacks.append(self._resume)
                 return
         finally:
             sim._active_process = None

@@ -85,7 +85,7 @@ class Descriptor:
                    params=tuple((k, v) for k, v in params))
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class WireMessage:
     """The RSR envelope as it travels over a transport.
 
@@ -115,7 +115,7 @@ class WireMessage:
         return (self.sent_at, self.endpoint_id)
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class InTransitMessage:
     """A message that has reached the destination *device* but has not yet
     been drained to user space (fast-transport receive model)."""
@@ -186,10 +186,18 @@ class Transport(abc.ABC):
     def __init__(self, services: TransportServices, costs: TransportCosts):
         self.services = services
         self.costs = costs
+        #: The simulator, cached as a plain attribute: ``services.sim``
+        #: is fixed for the life of the runtime and transports touch it
+        #: on every send/poll, so a property frame here is pure cost.
+        self.sim = services.sim
         self.messages_sent = 0
         self.bytes_sent = 0
         self.messages_dropped = 0
         self.bytes_dropped = 0
+        #: Tracer counter keys, precomputed — :meth:`record_send` runs
+        #: once per message and the f-strings showed up in profiles.
+        self._k_messages_sent = f"{self.name}.messages_sent"
+        self._k_bytes_sent = f"{self.name}.bytes_sent"
 
     # -- convenience -------------------------------------------------------
 
@@ -200,10 +208,6 @@ class Transport(abc.ABC):
         transports — e.g. a compression stack riding TCP, or secure TCP —
         override it so their traffic uses the underlying wire."""
         return getattr(self, "_wire_method", self.name)
-
-    @property
-    def sim(self) -> "Simulator":
-        return self.services.sim
 
     @property
     def network(self) -> "Network":
@@ -273,11 +277,13 @@ class Transport(abc.ABC):
         return self.services.context(descriptor.context_id)
 
     def record_send(self, message: WireMessage) -> None:
+        nbytes = message.nbytes
         self.messages_sent += 1
-        self.bytes_sent += message.nbytes
-        tracer = self.services.tracer
-        tracer.incr(f"{self.name}.messages_sent")
-        tracer.incr(f"{self.name}.bytes_sent", message.nbytes)
+        self.bytes_sent += nbytes
+        # Inlined tracer.incr pair on precomputed keys.
+        counters = self.services.tracer.counters
+        counters[self._k_messages_sent] += 1
+        counters[self._k_bytes_sent] += nbytes
 
     def record_drop(self, message: WireMessage | None = None,
                     nbytes: int | None = None) -> None:

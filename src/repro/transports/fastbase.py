@@ -42,6 +42,10 @@ from .errors import DeliveryError
 class FastTransport(Transport):
     """Base class implementing the receiver-drain send/poll protocol."""
 
+    #: Lazily cached :meth:`_overlap` result — ``RuntimeCosts`` is frozen,
+    #: so the value cannot change once the runtime has installed it.
+    _drain_overlap: float | None = None
+
     def send(self, local: ContextLike, state: dict, descriptor: Descriptor,
              message: WireMessage):
         destination = self._route(descriptor)
@@ -56,7 +60,7 @@ class FastTransport(Transport):
         overhead = costs.send_overhead + costs.per_byte_send * message.nbytes
         yield from self._charge(overhead)
         message.method = self.name
-        message.sent_at = self.sim.now
+        message.sent_at = self.sim._clock._now
         self.record_send(message)
         if message.trace is not None:
             message.trace.transition("wire", ctx=local.id, lane=self.name,
@@ -84,7 +88,7 @@ class FastTransport(Transport):
 
     def _enqueue_at_device(self, destination: ContextLike,
                            message: WireMessage) -> None:
-        now = self.sim.now
+        now = self.sim._clock._now
         queue = destination.device_queue(self.name)
         busy = destination.device_busy.get(self.name, 0.0)
         start = max(now, busy)
@@ -105,7 +109,10 @@ class FastTransport(Transport):
             notify()
 
     def poll(self, context: ContextLike):
-        yield from self._charge(self.costs.poll_cost)
+        cost = self.costs.poll_cost
+        if cost > 0:
+            # Inlined Transport._charge.
+            yield self.sim.timeout(cost)
         return self.collect(context)
 
     def collect(self, context: ContextLike) -> list[WireMessage]:
@@ -114,11 +121,17 @@ class FastTransport(Transport):
         Split out from :meth:`poll` so bulk/analytic polling can reuse the
         drain logic without paying per-poll event overhead.
         """
-        queue = context.device_queue(self.name)
+        # Reach for the queue dict directly (every core Context has one):
+        # this runs once per poll of every fast method, and unlike
+        # ``device_queue()`` it does not materialise a list just to
+        # discover there is nothing to drain.
+        queue = context._device_queues.get(self.name)  # type: ignore[attr-defined]
         if not queue:
             return []
-        now = self.sim.now
-        overlap = self._overlap()
+        now = self.sim._clock._now
+        overlap = self._drain_overlap
+        if overlap is None:
+            overlap = self._drain_overlap = self._overlap()
         foreign_now = context.foreign_poll_total
         ready: list[WireMessage] = []
         while queue:

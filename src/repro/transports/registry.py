@@ -145,6 +145,9 @@ class TransportRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._transports
 
+    def __len__(self) -> int:
+        return len(self._transports)
+
     def names(self) -> list[str]:
         """Enabled transport names, fastest first (by ``speed_rank``)."""
         return sorted(self._transports,

@@ -1,0 +1,196 @@
+"""Tests for the send-path caches added for wall-clock throughput.
+
+Two caches keep the hot path cheap without changing behaviour:
+
+* the per-link method-selection cache in
+  :meth:`Startpoint.ensure_connected`, invalidated by descriptor-table
+  ``version`` bumps and :class:`HealthTracker` ``epoch`` moves;
+* the poll plan in :class:`PollManager`, invalidated by every poll
+  configuration mutator and by transport-registry growth.
+"""
+
+import pytest
+
+from repro.core.errors import SelectionError
+
+
+@pytest.fixture
+def pair(sp2):
+    nexus = sp2.nexus
+    a = nexus.context(sp2.hosts_a[0], "A")
+    b = nexus.context(sp2.hosts_a[1], "B")
+    return sp2, a, b
+
+
+class CountingPolicy:
+    """Wraps a selection policy, counting rescans."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    def select(self, *args, **kwargs):
+        self.calls += 1
+        return self.inner.select(*args, **kwargs)
+
+
+@pytest.fixture
+def linked(pair):
+    bed, a, b = pair
+    policy = CountingPolicy(a.selection_policy)
+    a.selection_policy = policy
+    startpoint = a.startpoint_to(b.new_endpoint())
+    return bed, a, b, startpoint, policy
+
+
+class TestSelectionCache:
+    def test_fast_path_skips_policy(self, linked):
+        _bed, _a, _b, sp, policy = linked
+        link = sp.links[0]
+        comm = sp.ensure_connected(link)
+        assert policy.calls == 1
+        assert link.table_version == link.table.version
+        for _ in range(10):
+            assert sp.ensure_connected(link) is comm
+        assert policy.calls == 1  # every repeat hit the cache
+
+    def test_excluded_methods_bypass_the_cache(self, linked):
+        _bed, _a, _b, sp, policy = linked
+        link = sp.links[0]
+        selected = sp.ensure_connected(link).method
+        other = sp.ensure_connected(link, excluded=(selected,))
+        assert other.method != selected
+        assert policy.calls == 2
+
+    def test_table_edit_invalidates(self, linked):
+        _bed, _a, _b, sp, policy = linked
+        link = sp.links[0]
+        first = sp.ensure_connected(link)
+        # Editing the link's table bumps its version: the next send must
+        # rescan and respect the new contents.
+        link.table.remove(first.method)
+        second = sp.ensure_connected(link)
+        assert second.method != first.method
+        assert policy.calls == 2
+
+    def test_table_reorder_invalidates(self, linked):
+        _bed, _a, _b, sp, policy = linked
+        link = sp.links[0]
+        sp.ensure_connected(link)
+        link.table.reorder(list(reversed(link.table.methods)))
+        sp.ensure_connected(link)
+        assert policy.calls == 2
+
+    def test_health_epoch_invalidates(self, linked):
+        _bed, a, b, sp, policy = linked
+        link = sp.links[0]
+        first = sp.ensure_connected(link)
+        a.health.mark_down(b.id, first.method)
+        second = sp.ensure_connected(link)
+        assert second.method != first.method
+        assert policy.calls == 2
+
+    def test_set_method_sticks(self, linked):
+        _bed, _a, _b, sp, policy = linked
+        link = sp.links[0]
+        auto = sp.ensure_connected(link).method
+        manual = "tcp" if auto != "tcp" else "mpl"
+        sp.set_method(manual)
+        # The manual choice is stamped into the cache: ensure_connected
+        # must keep it rather than silently re-running the policy.
+        assert sp.ensure_connected(link).method == manual
+        assert policy.calls == 1
+
+    def test_set_method_still_yields_to_table_edits(self, linked):
+        _bed, _a, _b, sp, policy = linked
+        link = sp.links[0]
+        auto = sp.ensure_connected(link).method
+        manual = "tcp" if auto != "tcp" else "mpl"
+        sp.set_method(manual)
+        link.table.remove(manual)
+        assert sp.ensure_connected(link).method != manual
+
+    def test_no_methods_left_still_raises(self, linked):
+        _bed, a, b, sp, _policy = linked
+        link = sp.links[0]
+        sp.ensure_connected(link)
+        for method in link.table.methods:
+            a.health.mark_down(b.id, method)
+        with pytest.raises(SelectionError, match="no healthy"):
+            sp.ensure_connected(link)
+
+
+class TestDescriptorTableVersion:
+    def test_mutators_bump_version(self, pair):
+        _bed, a, _b = pair
+        table = a.export_table()
+        version = table.version
+        entry = table.entry(table.methods[0])
+        table.remove(entry.method)
+        assert table.version > version
+        version = table.version
+        table.add(entry)
+        assert table.version > version
+        version = table.version
+        table.reorder(list(reversed(table.methods)))
+        assert table.version > version
+        version = table.version
+        table.promote(entry.method)
+        assert table.version > version
+
+
+class TestPollPlanCache:
+    def test_plan_reused_until_config_changes(self, pair):
+        _bed, a, _b = pair
+        pm = a.poll_manager
+        pm.active_methods()
+        plan = pm._plan
+        assert plan is not None
+        pm.active_methods()
+        assert pm._plan is plan  # stable config -> same plan object
+        pm.set_skip("tcp", 20)
+        assert pm._plan is None  # mutator dropped it
+        assert "tcp" in pm.active_methods()
+
+    def test_disable_enable_invalidate(self, pair):
+        _bed, a, _b = pair
+        pm = a.poll_manager
+        baseline = pm.amortized_cycle_time()
+        pm.disable("tcp")
+        cheaper = pm.amortized_cycle_time()
+        assert cheaper < baseline
+        pm.enable("tcp")
+        assert pm.amortized_cycle_time() == baseline
+
+    def test_mask_invalidates_on_entry_and_exit(self, pair):
+        _bed, a, _b = pair
+        pm = a.poll_manager
+        baseline = pm.amortized_cycle_time()
+        with pm.only("mpl"):
+            assert pm.active_methods() == ["mpl"]
+            assert pm.amortized_cycle_time() < baseline
+        assert pm.amortized_cycle_time() == baseline
+
+    def test_add_method_seeds_defaults(self, pair):
+        bed, a, _b = pair
+        pm = a.poll_manager
+        pm.active_methods()  # build a plan to be invalidated
+        bed.nexus.transports.enable("mcast")
+        pm.add_method("mcast")
+        assert pm.get_skip("mcast") == 1
+        assert pm._counters["mcast"] == 0
+        assert "mcast" in pm.active_methods()
+
+    def test_registry_growth_alone_refreshes_plan(self, pair):
+        """Enabling a transport changes poll applicability without any
+        PollManager mutator running; the size check must catch it."""
+        bed, a, _b = pair
+        pm = a.poll_manager
+        pm.active_methods()
+        plan = pm._plan
+        bed.nexus.transports.enable("mcast")
+        pm.methods.append("mcast")  # bypass add_method's invalidation
+        pm.skip.setdefault("mcast", 1)
+        pm._counters.setdefault("mcast", 0)
+        assert "mcast" in pm.active_methods()
+        assert pm._plan is not plan
