@@ -1,9 +1,10 @@
 """A mixed intra/inter-partition workload runnable over p4, PVM, and Nexus.
 
-Four processes, two per SP2 partition.  Each round every process
-exchanges ``local_bytes`` with its partition-local partner; every
-``remote_every`` rounds it also exchanges ``remote_bytes`` with its
-counterpart in the other partition.  The same traffic pattern runs over:
+Four processes, two per SP2 partition.  The traffic shape is a
+:class:`~repro.load.arrivals.MixedRoundPattern` — each round every
+process exchanges ``local_bytes`` with its partition-local partner;
+every ``remote_every`` rounds it also exchanges ``remote_bytes`` with
+its counterpart in the other partition.  The same pattern runs over:
 
 * ``"p4"``    — hard-coded MPL/TCP, both polled always;
 * ``"pvm"``   — hard-coded MPL + mandatory pvmd relay for external;
@@ -22,6 +23,7 @@ import dataclasses
 import typing as _t
 
 from ..core.runtime import Nexus
+from ..load.arrivals import MixedRoundPattern
 from ..mpi.datatypes import Padded
 from ..mpi.mpi import MPIWorld
 from ..testbeds import make_sp2
@@ -62,16 +64,17 @@ def run_mixed_workload(system: str, *, rounds: int = 30,
     bed = make_sp2(nodes_a=2, nodes_b=2)
     nexus = bed.nexus
     contexts = [nexus.context(h, f"p{i}") for i, h in enumerate(bed.hosts)]
+    pattern = MixedRoundPattern(local_bytes=local_bytes,
+                                remote_bytes=remote_bytes,
+                                remote_every=remote_every)
 
     if system == "nexus":
-        bodies = _nexus_bodies(nexus, contexts, rounds, local_bytes,
-                               remote_bytes, remote_every, skip_poll)
+        bodies = _nexus_bodies(nexus, contexts, rounds, pattern, skip_poll)
     elif system == "p4":
-        bodies = _baseline_bodies(P4System(nexus, contexts), rounds,
-                                  local_bytes, remote_bytes, remote_every)
+        bodies = _baseline_bodies(P4System(nexus, contexts), rounds, pattern)
     elif system == "pvm":
         bodies = _baseline_bodies(PvmSystem.build(nexus, contexts), rounds,
-                                  local_bytes, remote_bytes, remote_every)
+                                  pattern)
     else:
         raise ValueError(f"unknown system {system!r}")
 
@@ -87,23 +90,22 @@ def run_mixed_workload(system: str, *, rounds: int = 30,
 
 
 def _baseline_bodies(system: P4System | PvmSystem, rounds: int,
-                     local_bytes: int, remote_bytes: int,
-                     remote_every: int) -> list[_t.Generator]:
+                     pattern: MixedRoundPattern) -> list[_t.Generator]:
     def body(pid: int):
         proc = system.process(pid)
         local, remote = _partners(pid)
-        for round_index in range(rounds):
-            yield from proc.send(local, TAG_LOCAL, local_bytes)
+        for op in pattern.rounds(rounds):
+            yield from proc.send(local, TAG_LOCAL, op.local_bytes)
             yield from proc.recv(TAG_LOCAL)
-            if round_index % remote_every == 0:
-                yield from proc.send(remote, TAG_REMOTE, remote_bytes)
+            if op.remote_bytes is not None:
+                yield from proc.send(remote, TAG_REMOTE, op.remote_bytes)
                 yield from proc.recv(TAG_REMOTE)
 
     return [body(pid) for pid in range(4)]
 
 
-def _nexus_bodies(nexus: Nexus, contexts, rounds: int, local_bytes: int,
-                  remote_bytes: int, remote_every: int,
+def _nexus_bodies(nexus: Nexus, contexts, rounds: int,
+                  pattern: MixedRoundPattern,
                   skip_poll: int) -> list[_t.Generator]:
     for ctx in contexts:
         ctx.poll_manager.set_skip("tcp", skip_poll)
@@ -112,11 +114,12 @@ def _nexus_bodies(nexus: Nexus, contexts, rounds: int, local_bytes: int,
     def body(pid: int):
         proc = world.process(pid)
         local, remote = _partners(pid)
-        for round_index in range(rounds):
-            yield from proc.sendrecv(Padded(None, local_bytes), local,
+        for op in pattern.rounds(rounds):
+            yield from proc.sendrecv(Padded(None, op.local_bytes), local,
                                      TAG_LOCAL, local, TAG_LOCAL)
-            if round_index % remote_every == 0:
-                yield from proc.sendrecv(Padded(None, remote_bytes), remote,
-                                         TAG_REMOTE, remote, TAG_REMOTE)
+            if op.remote_bytes is not None:
+                yield from proc.sendrecv(Padded(None, op.remote_bytes),
+                                         remote, TAG_REMOTE, remote,
+                                         TAG_REMOTE)
 
     return [body(pid) for pid in range(4)]

@@ -11,6 +11,9 @@ One module per paper artefact:
 * :mod:`repro.bench.ablations` — blocking-handler polling, the
   MPI-layering cost, adaptive skip_poll, and the lightweight-startpoint
   optimisation.
+* :mod:`repro.bench.load` — the load tier: SLO-gated workload
+  scenarios and the tuned-polling vs forwarding capacity comparison
+  (:mod:`repro.load`).
 
 Each driver returns :class:`~repro.util.records.Series` /
 :class:`~repro.util.records.ResultTable` objects, renders them in the
@@ -26,6 +29,7 @@ document per run plus the baseline regression gate behind
 
 from .figure4 import figure4, check_figure4_shape
 from .figure6 import figure6, check_figure6_shape
+from .load import LoadBench, check_load_shape, load_bench
 from .record import (
     BenchRecord,
     compare_records,
@@ -34,6 +38,7 @@ from .record import (
     record_baselines,
     record_figure4,
     record_figure6,
+    record_load,
     record_observability,
     record_table1,
     validate_record_document,
@@ -49,6 +54,7 @@ from .ablations import (
 
 __all__ = [
     "BenchRecord",
+    "LoadBench",
     "ablation_adaptive_skip",
     "ablation_blocking_poll",
     "ablation_lightweight_startpoints",
@@ -56,15 +62,18 @@ __all__ = [
     "ablation_rendezvous",
     "check_figure4_shape",
     "check_figure6_shape",
+    "check_load_shape",
     "check_table1_shape",
     "compare_records",
     "figure4",
     "figure6",
+    "load_bench",
     "load_record",
     "record_ablations",
     "record_baselines",
     "record_figure4",
     "record_figure6",
+    "record_load",
     "record_observability",
     "record_table1",
     "table1",

@@ -60,6 +60,7 @@ from .record import (
     record_chaos,
     record_figure4,
     record_figure6,
+    record_load,
     record_observability,
     record_table1,
 )
@@ -174,6 +175,20 @@ def _run_chaos(quick: bool, record: BenchRecord | None) -> None:
         print("shape: OK")
 
 
+def _run_load(quick: bool, record: BenchRecord | None) -> None:
+    from .load import check_load_shape, load_bench
+
+    bench = load_bench(quick=quick)
+    print(bench.render())
+    for verdict in bench.verdicts.values():
+        print(verdict.summary())
+    if record is not None:
+        record_load(record, bench)
+    if not quick:
+        check_load_shape(bench)
+        print("shape: OK")
+
+
 ARTEFACTS: dict[str, _t.Callable[[bool, BenchRecord | None], None]] = {
     "figure4": _run_figure4,
     "figure6": _run_figure6,
@@ -181,6 +196,7 @@ ARTEFACTS: dict[str, _t.Callable[[bool, BenchRecord | None], None]] = {
     "ablations": _run_ablations,
     "baselines": _run_baselines,
     "chaos": _run_chaos,
+    "load": _run_load,
 }
 
 

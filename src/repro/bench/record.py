@@ -564,6 +564,35 @@ def record_chaos(record: BenchRecord, chaos) -> None:
                kind=KIND_COUNT, direction=DIR_HIGHER)
 
 
+def record_load(record: BenchRecord, bench) -> None:
+    """SLO scenario outcomes and capacity search results (load tier)."""
+    for name, result in bench.results.items():
+        slug = _slug(name)
+        verdict = bench.verdicts[name]
+        record.add("load", f"{slug}.offered", result.offered,
+                   unit="rsrs", kind=KIND_COUNT)
+        record.add("load", f"{slug}.delivered", result.delivered,
+                   unit="rsrs", kind=KIND_COUNT, direction=DIR_HIGHER)
+        record.add("load", f"{slug}.retries", result.retries,
+                   unit="retries", kind=KIND_COUNT)
+        record.add("load", f"{slug}.dropped", result.messages_dropped,
+                   unit="msgs", kind=KIND_COUNT)
+        record.add("load", f"{slug}.delivered_rate", result.delivered_rate,
+                   unit="rsr/s", direction=DIR_HIGHER)
+        record.add("load", f"{slug}.p50_us",
+                   result.quantile_us(0.5) or 0.0, unit="us")
+        record.add("load", f"{slug}.p99_us",
+                   result.quantile_us(0.99) or 0.0, unit="us")
+        record.add("load", f"{slug}.slo_passed", float(verdict.passed),
+                   unit="bool", kind=KIND_COUNT, direction=DIR_HIGHER)
+    for name, cap in bench.capacities.items():
+        slug = _slug(name)
+        record.add("load", f"capacity.{slug}.rate", cap.capacity,
+                   unit="rsr/s", direction=DIR_HIGHER)
+        record.add("load", f"capacity.{slug}.probes", len(cap.probes),
+                   unit="probes", kind=KIND_COUNT, direction=DIR_NONE)
+
+
 def record_observability(record: BenchRecord, artefact: str,
                          runs: _t.Sequence[tuple[_t.Any, _t.Any]]) -> None:
     """Span/RSR totals for one artefact's traced runtimes."""
@@ -610,6 +639,7 @@ __all__ = [
     "record_chaos",
     "record_figure4",
     "record_figure6",
+    "record_load",
     "record_observability",
     "record_table1",
     "validate_record_document",

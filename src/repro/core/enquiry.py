@@ -155,6 +155,8 @@ class PhaseStats:
     p50_us: float
     p95_us: float
     max_us: float
+    #: Tail quantile used by SLO gating (bucket upper bound, like p50/p95).
+    p99_us: float = 0.0
 
     @classmethod
     def from_histogram(cls, histogram) -> "PhaseStats | None":
@@ -164,7 +166,8 @@ class PhaseStats:
                    mean_us=histogram.mean,
                    p50_us=histogram.quantile(0.5),
                    p95_us=histogram.quantile(0.95),
-                   max_us=histogram.max_value)
+                   max_us=histogram.max_value,
+                   p99_us=histogram.quantile(0.99))
 
     def as_dict(self) -> dict[str, object]:
         return dataclasses.asdict(self)
@@ -212,9 +215,17 @@ class EnquiryReport:
     latency: dict[str, PhaseStats]
     poll_batches: dict[str, PhaseStats]
     health: HealthReport
+    #: Optional SLO verdict attached by :mod:`repro.load.slo` (plain
+    #: dict; ``None`` when no SLO was evaluated).  Core stays ignorant
+    #: of the load tier — this is just a carried annotation.
+    slo: dict[str, object] | None = None
+
+    def with_slo(self, verdict: dict[str, object]) -> "EnquiryReport":
+        """A copy of this report carrying an SLO verdict section."""
+        return dataclasses.replace(self, slo=verdict)
 
     def as_dict(self) -> dict[str, object]:
-        return {
+        out: dict[str, object] = {
             "now": self.now,
             "transports": {name: stats.as_dict()
                            for name, stats in self.transports.items()},
@@ -228,6 +239,9 @@ class EnquiryReport:
                              for method, stats in self.poll_batches.items()},
             "health": self.health.as_dict(),
         }
+        if self.slo is not None:
+            out["slo"] = self.slo
+        return out
 
 
 # -- internal builders (shim- and warning-free) -------------------------------

@@ -1,0 +1,154 @@
+"""Capacity planning: the highest offered rate a configuration sustains.
+
+:func:`find_capacity` answers the operator question the paper's §4.3
+tables gesture at — *how much load can this tuning actually carry?* —
+by bisecting on total open-loop offered rate: run the scenario at a
+candidate rate, judge it against an :class:`~repro.load.slo.SLO`, and
+narrow the bracket until the passing and failing rates are within
+``tolerance`` of each other.
+
+Every probe is a fresh, fully deterministic :func:`run_scenario`
+execution (same seed ⇒ same traffic at a given rate), and the bisection
+itself is pure arithmetic on the bracket — so the whole search is a
+pure function of (scenario, slo, bracket), reproducible byte for byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from .arrivals import LoadSpecError
+from .clients import run_scenario
+from .scenario import LoadScenario
+from .slo import SLO, SLOVerdict, evaluate
+
+
+@dataclasses.dataclass(frozen=True)
+class CapacityProbe:
+    """One bisection step: a rate that was tried and how it fared."""
+
+    rate: float
+    passed: bool
+    delivered_rate: float
+    p50_us: float | None
+    p99_us: float | None
+    verdict: SLOVerdict
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rate": self.rate,
+            "passed": self.passed,
+            "delivered_rate": self.delivered_rate,
+            "p50_us": self.p50_us,
+            "p99_us": self.p99_us,
+            "verdict": self.verdict.as_dict(),
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class CapacityResult:
+    """Outcome of one capacity search."""
+
+    scenario: str
+    slo: str
+    #: Highest probed rate that met the SLO (0.0 when even ``low``
+    #: fails — the configuration has no SLO-compliant operating point
+    #: in the bracket).
+    capacity: float
+    #: Lowest probed rate that violated the SLO (``None`` when even
+    #: ``high`` passes — the bracket never reached saturation).
+    first_failing_rate: float | None
+    probes: tuple[CapacityProbe, ...]
+
+    @property
+    def saturated_bracket(self) -> bool:
+        """True when the search actually located the SLO cliff."""
+        return self.capacity > 0.0 and self.first_failing_rate is not None
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "slo": self.slo,
+            "capacity": self.capacity,
+            "first_failing_rate": self.first_failing_rate,
+            "probes": [probe.as_dict() for probe in self.probes],
+        }
+
+    def summary(self) -> str:
+        edge = ("n/a" if self.first_failing_rate is None
+                else f"{self.first_failing_rate:.1f}")
+        return (f"{self.scenario} / {self.slo}: capacity "
+                f"{self.capacity:.1f} RSR/s (first failure {edge}, "
+                f"{len(self.probes)} probes)")
+
+
+def _probe(scenario: LoadScenario, slo: SLO, rate: float) -> CapacityProbe:
+    result = run_scenario(scenario.at_rate(rate))
+    verdict = evaluate(result, slo)
+    return CapacityProbe(
+        rate=rate,
+        passed=verdict.passed,
+        delivered_rate=result.delivered_rate,
+        p50_us=result.quantile_us(0.5),
+        p99_us=result.quantile_us(0.99),
+        verdict=verdict,
+    )
+
+
+def find_capacity(scenario: LoadScenario, slo: SLO, *,
+                  low: float, high: float,
+                  tolerance: float = 0.05,
+                  max_probes: int = 12,
+                  on_probe: _t.Callable[[CapacityProbe], None] | None = None,
+                  ) -> CapacityResult:
+    """Bisect offered rate for the highest SLO-compliant operating point.
+
+    ``low``/``high`` bracket the search in total open-loop RSRs per
+    sim-second; ``tolerance`` is the relative bracket width at which the
+    search stops.  ``on_probe`` (if given) observes each probe as it
+    completes — progress reporting for CLIs.
+    """
+    if not 0 < low < high:
+        raise LoadSpecError(f"bad capacity bracket [{low!r}, {high!r}]")
+    if not 0 < tolerance < 1:
+        raise LoadSpecError(f"bad tolerance {tolerance!r}")
+    if scenario.open_rate <= 0:
+        raise LoadSpecError(
+            f"scenario {scenario.name!r} has no open-loop fleets to sweep")
+
+    probes: list[CapacityProbe] = []
+
+    def run(rate: float) -> CapacityProbe:
+        probe = _probe(scenario, slo, rate)
+        probes.append(probe)
+        if on_probe is not None:
+            on_probe(probe)
+        return probe
+
+    low_probe = run(low)
+    if not low_probe.passed:
+        return CapacityResult(scenario=scenario.name, slo=slo.name,
+                              capacity=0.0, first_failing_rate=low,
+                              probes=tuple(probes))
+
+    high_probe = run(high)
+    if high_probe.passed:
+        return CapacityResult(scenario=scenario.name, slo=slo.name,
+                              capacity=high, first_failing_rate=None,
+                              probes=tuple(probes))
+
+    best, worst = low, high
+    while len(probes) < max_probes and (worst - best) > tolerance * best:
+        mid = (best + worst) / 2.0
+        if run(mid).passed:
+            best = mid
+        else:
+            worst = mid
+
+    return CapacityResult(scenario=scenario.name, slo=slo.name,
+                          capacity=best, first_failing_rate=worst,
+                          probes=tuple(probes))
+
+
+__all__ = ["CapacityProbe", "CapacityResult", "find_capacity"]

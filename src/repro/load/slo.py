@@ -1,0 +1,198 @@
+"""Declarative SLOs evaluated against a :class:`~repro.load.clients.LoadResult`.
+
+An :class:`SLO` names the budgets a scenario must meet — tail latency,
+delivered throughput, drop/retry budgets — and :func:`evaluate` turns a
+finished run into an :class:`SLOVerdict`: one
+:class:`ObjectiveResult` per configured budget plus an overall
+pass/fail.  Objectives read the same :mod:`repro.obs` histograms and
+counters the enquiry report is built from, so an SLO never disagrees
+with what the observability stack recorded.
+
+Latency quantiles come from fixed-bucket histograms, so a quantile is
+the *upper bound* of the bucket the quantile falls in — conservative
+(never under-reports the tail) and byte-stable across runs.
+
+The verdict also attaches itself to the run's enquiry report
+(``result.report.slo``), which is how SLO outcomes travel inside
+:class:`~repro.core.enquiry.EnquiryReport` without the core layer
+importing the load tier.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from .arrivals import LoadSpecError
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .clients import LoadResult
+
+
+@dataclasses.dataclass(frozen=True)
+class SLO:
+    """Budgets a load run must meet.  ``None`` disables an objective.
+
+    Latency budgets are in microseconds against the merged end-to-end
+    RSR latency histogram; fractions are relative to offered requests.
+    """
+
+    name: str = "default"
+    #: Median / tail end-to-end RSR latency budgets (µs).
+    p50_latency_us: float | None = None
+    p99_latency_us: float | None = None
+    mean_latency_us: float | None = None
+    #: Minimum delivered/offered fraction (goodput under loss/backlog).
+    min_delivered_fraction: float | None = None
+    #: Minimum delivered throughput, RSRs per sim-second.
+    min_delivered_rate: float | None = None
+    #: Minimum delivered rate as a fraction of the *requested* open-loop
+    #: rate.  The saturation detector: a client fleet that cannot keep
+    #: its arrival schedule (send path blocked) never shows up in
+    #: delivered/offered, but it does show up here.
+    min_goodput_fraction: float | None = None
+    #: Maximum (dropped + abandoned sends) / offered.
+    max_drop_fraction: float | None = None
+    #: Maximum send-path retries / offered.
+    max_retry_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.objectives():
+            raise LoadSpecError(f"SLO {self.name!r} sets no objectives")
+        for field in ("p50_latency_us", "p99_latency_us", "mean_latency_us",
+                      "min_delivered_rate"):
+            value = getattr(self, field)
+            if value is not None and value <= 0:
+                raise LoadSpecError(f"SLO {self.name!r}: {field} must be "
+                                    f"> 0, got {value!r}")
+        for field in ("min_delivered_fraction", "min_goodput_fraction",
+                      "max_drop_fraction", "max_retry_fraction"):
+            value = getattr(self, field)
+            if value is not None and not 0.0 <= value <= 1.0:
+                raise LoadSpecError(f"SLO {self.name!r}: {field} must be "
+                                    f"in [0, 1], got {value!r}")
+
+    def objectives(self) -> list[str]:
+        """Names of the budgets this SLO actually sets."""
+        return [field.name for field in dataclasses.fields(self)
+                if field.name != "name"
+                and getattr(self, field.name) is not None]
+
+
+@dataclasses.dataclass(frozen=True)
+class ObjectiveResult:
+    """One budget's outcome: what was required, what was measured."""
+
+    objective: str
+    limit: float
+    #: Measured value; ``None`` when the run produced no signal to
+    #: measure (e.g. latency budget but zero delivered RSRs) — which
+    #: counts as a failure, never a silent pass.
+    actual: float | None
+    passed: bool
+
+    def as_dict(self) -> dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class SLOVerdict:
+    """The full pass/fail picture for one run against one SLO."""
+
+    slo: str
+    scenario: str
+    passed: bool
+    objectives: tuple[ObjectiveResult, ...]
+
+    def failed_objectives(self) -> tuple[ObjectiveResult, ...]:
+        return tuple(o for o in self.objectives if not o.passed)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "slo": self.slo,
+            "scenario": self.scenario,
+            "passed": self.passed,
+            "objectives": [o.as_dict() for o in self.objectives],
+        }
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        parts = []
+        for o in self.objectives:
+            mark = "ok" if o.passed else "VIOLATED"
+            actual = "n/a" if o.actual is None else f"{o.actual:.4g}"
+            parts.append(f"{o.objective}={actual} (limit {o.limit:.4g}, "
+                         f"{mark})")
+        return f"[{verdict}] {self.slo} on {self.scenario}: " + "; ".join(
+            parts)
+
+
+def _upper(actual: float | None, limit: float) -> bool:
+    """Budget is an upper bound; missing signal fails."""
+    return actual is not None and actual <= limit
+
+
+def _lower(actual: float | None, limit: float) -> bool:
+    return actual is not None and actual >= limit
+
+
+def evaluate(result: "LoadResult", slo: SLO) -> SLOVerdict:
+    """Judge ``result`` against ``slo`` and attach the verdict.
+
+    Returns the verdict; as a side effect the run's enquiry report is
+    replaced with a copy carrying the verdict (``result.report.slo``).
+    """
+    offered = result.offered
+    send_failures = sum(f.send_failures for f in result.fleets.values())
+    checks: list[tuple[str, float, float | None,
+                       _t.Callable[[float | None, float], bool]]] = []
+
+    if slo.p50_latency_us is not None:
+        checks.append(("p50_latency_us", slo.p50_latency_us,
+                       result.quantile_us(0.5), _upper))
+    if slo.p99_latency_us is not None:
+        checks.append(("p99_latency_us", slo.p99_latency_us,
+                       result.quantile_us(0.99), _upper))
+    if slo.mean_latency_us is not None:
+        checks.append(("mean_latency_us", slo.mean_latency_us,
+                       result.latency.mean, _upper))
+    if slo.min_delivered_fraction is not None:
+        fraction = result.delivered / offered if offered else None
+        checks.append(("min_delivered_fraction",
+                       slo.min_delivered_fraction, fraction, _lower))
+    if slo.min_delivered_rate is not None:
+        checks.append(("min_delivered_rate", slo.min_delivered_rate,
+                       result.delivered_rate, _lower))
+    if slo.min_goodput_fraction is not None:
+        requested = result.scenario.open_rate
+        delivered_open = sum(f.delivered for f in result.fleets.values()
+                             if not f.closed)
+        fraction = (delivered_open / result.elapsed / requested
+                    if requested else None)
+        checks.append(("min_goodput_fraction", slo.min_goodput_fraction,
+                       fraction, _lower))
+    if slo.max_drop_fraction is not None:
+        fraction = ((result.messages_dropped + send_failures) / offered
+                    if offered else None)
+        checks.append(("max_drop_fraction", slo.max_drop_fraction,
+                       fraction, _upper))
+    if slo.max_retry_fraction is not None:
+        fraction = result.retries / offered if offered else None
+        checks.append(("max_retry_fraction", slo.max_retry_fraction,
+                       fraction, _upper))
+
+    objectives = tuple(
+        ObjectiveResult(objective=name, limit=limit, actual=actual,
+                        passed=check(actual, limit))
+        for name, limit, actual, check in checks)
+    verdict = SLOVerdict(
+        slo=slo.name,
+        scenario=result.scenario.name,
+        passed=all(o.passed for o in objectives),
+        objectives=objectives,
+    )
+    result.report = result.report.with_slo(verdict.as_dict())
+    return verdict
+
+
+__all__ = ["ObjectiveResult", "SLO", "SLOVerdict", "evaluate"]

@@ -1,7 +1,9 @@
-"""Validate a Chrome trace-event export (``python -m repro.obs.validate``).
+"""Validate repro JSON artefacts (``python -m repro.obs.validate``).
 
-Checks the structural contract the exporters promise — the subset of the
-trace-event format Perfetto relies on, plus this repo's own guarantees:
+Sniffs the document type and applies the matching contract:
+
+**Chrome trace-event exports** — the subset of the trace-event format
+Perfetto relies on, plus this repo's own guarantees:
 
 * top-level object with a ``traceEvents`` list;
 * every event has ``ph``/``name``/``pid``/``tid``; complete ("X")
@@ -15,7 +17,16 @@ trace-event format Perfetto relies on, plus this repo's own guarantees:
   (``otherData.spans == 0``, e.g. ``--trace`` over a run that built no
   Nexus) is valid with no events and no histograms.
 
-Used by the CI smoke job and the test suite; exits non-zero with a
+**Bench records** (``schema == "repro.bench.record"``, written by
+``python -m repro.bench --record``) — the full structural contract from
+:func:`repro.bench.record.validate_record_document`, plus load-tier
+checks when the record carries a ``load`` artefact: every scenario must
+publish its SLO verdict (``<scenario>.slo_passed``) alongside the
+counters the verdict was judged from (offered/delivered, p50/p99), the
+delivered count may not exceed the offered count, and every capacity
+search must publish both its rate and its probe count.
+
+Used by the CI smoke jobs and the test suite; exits non-zero with a
 reason on the first violation.
 """
 
@@ -125,20 +136,84 @@ def validate_trace_file(path: str) -> dict[str, object]:
     return validate_trace_document(document)
 
 
+#: Counters every load scenario must publish next to its SLO verdict.
+LOAD_SCENARIO_METRICS = ("offered", "delivered", "delivered_rate",
+                         "p50_us", "p99_us")
+
+
+def validate_load_record(document: _t.Mapping[str, object]
+                         ) -> dict[str, object]:
+    """Load-tier checks over an already structurally-valid bench record.
+
+    A record without a ``load`` artefact passes trivially (zero
+    scenarios); one *with* it must carry complete SLO-judged scenarios
+    and complete capacity searches.
+    """
+    artefacts = _t.cast(dict, document.get("artefacts", {}))
+    load = artefacts.get("load")
+    if load is None:
+        return {"load_scenarios": 0, "capacity_searches": 0}
+    metrics = _t.cast(dict, _t.cast(dict, load)["metrics"])
+
+    scenarios = sorted(name[: -len(".slo_passed")] for name in metrics
+                       if name.endswith(".slo_passed"))
+    if not scenarios:
+        _fail("load artefact present but no <scenario>.slo_passed metrics")
+    for scenario in scenarios:
+        for suffix in LOAD_SCENARIO_METRICS:
+            if f"{scenario}.{suffix}" not in metrics:
+                _fail(f"load scenario {scenario!r} lacks {suffix}")
+        offered = _t.cast(dict, metrics[f"{scenario}.offered"])["value"]
+        delivered = _t.cast(dict, metrics[f"{scenario}.delivered"])["value"]
+        if delivered > offered:
+            _fail(f"load scenario {scenario!r} delivered {delivered} "
+                  f"> offered {offered}")
+
+    searches = sorted({name.split(".")[1] for name in metrics
+                       if name.startswith("capacity.")})
+    for search in searches:
+        for suffix in ("rate", "probes"):
+            if f"capacity.{search}.{suffix}" not in metrics:
+                _fail(f"capacity search {search!r} lacks {suffix}")
+
+    return {"load_scenarios": len(scenarios),
+            "capacity_searches": len(searches)}
+
+
+def validate_file(path: str) -> tuple[str, dict[str, object]]:
+    """Sniff ``path`` and validate it; returns (document kind, summary)."""
+    from ..bench.record import SCHEMA, validate_record_document
+
+    with open(path) as handle:
+        document = json.load(handle)
+    if isinstance(document, dict) and document.get("schema") == SCHEMA:
+        summary = validate_record_document(document)
+        summary.update(validate_load_record(document))
+        return "record", summary
+    return "trace", validate_trace_document(document)
+
+
 def main(argv: _t.Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if len(argv) != 1:
-        print("usage: python -m repro.obs.validate TRACE.json",
+        print("usage: python -m repro.obs.validate TRACE_OR_RECORD.json",
               file=sys.stderr)
         return 2
     try:
-        summary = validate_trace_file(argv[0])
-    except (OSError, json.JSONDecodeError, TraceValidationError) as error:
+        kind, summary = validate_file(argv[0])
+    except (OSError, json.JSONDecodeError, ValueError) as error:
         print(f"INVALID: {error}", file=sys.stderr)
         return 1
-    print(f"OK: {summary['span_events']} spans over {summary['rsrs']} RSRs "
-          f"({summary['full_lifecycles']} full lifecycles), "
-          f"{summary['latency_histograms']} latency histograms")
+    if kind == "record":
+        print(f"OK: bench record with {summary['metrics']} metrics "
+              f"across {summary['artefacts']} artefacts, "
+              f"{summary['load_scenarios']} load scenarios, "
+              f"{summary['capacity_searches']} capacity searches")
+    else:
+        print(f"OK: {summary['span_events']} spans over "
+              f"{summary['rsrs']} RSRs "
+              f"({summary['full_lifecycles']} full lifecycles), "
+              f"{summary['latency_histograms']} latency histograms")
     return 0
 
 

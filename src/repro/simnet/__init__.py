@@ -30,7 +30,7 @@ from .network import FaultRule, FlakyRule, Machine, Network, Partition, \
     Reservation, WanLink
 from .node import Host
 from .process import Process
-from .random import RandomStreams
+from .random import RandomStreams, derive, derived_generator
 from .resources import Resource, Store
 from .trace import TraceRecord, Tracer
 
@@ -67,4 +67,6 @@ __all__ = [
     "Tracer",
     "VirtualClock",
     "WanLink",
+    "derive",
+    "derived_generator",
 ]

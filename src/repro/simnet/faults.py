@@ -79,7 +79,11 @@ class FaultPlan:
               duration: float | None = None,
               transport: str | None = None) -> "FaultPlan":
         """Install a seeded per-message drop rule at ``start`` and lift
-        it after ``duration`` sim-seconds (``None``: never)."""
+        it after ``duration`` sim-seconds (``None``: never).
+
+        The rule's drop RNG is derived from ``seed`` *and* the rule's
+        identity via :func:`repro.simnet.random.derive`, so several
+        windows sharing one seed still draw independent sequences."""
         if start < 0 or (duration is not None and duration <= 0):
             raise SimnetError(
                 f"bad flaky window start={start!r} duration={duration!r}")

@@ -21,11 +21,10 @@ import dataclasses
 import itertools
 import typing as _t
 
-import numpy as np
-
 from .errors import SimnetError
 from .link import LinkProfile
 from .node import Host
+from .random import derived_generator
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from .engine import Simulator
@@ -91,7 +90,10 @@ class FaultRule:
 class FlakyRule:
     """A seeded per-message drop rule between two scopes (one direction
     pair, one optional transport).  Each rule owns its own deterministic
-    RNG so installations elsewhere never perturb its drop sequence."""
+    RNG, seeded via :func:`repro.simnet.random.derive` from the rule's
+    own identity (scope names + transport), so installations elsewhere —
+    or two rules sharing one ``seed`` — never perturb each other's drop
+    sequence."""
 
     def __init__(self, a: FaultScope, b: FaultScope, transport: str | None,
                  drop_probability: float, seed: int):
@@ -102,7 +104,8 @@ class FlakyRule:
         self.b = b
         self.transport = transport
         self.drop_probability = drop_probability
-        self.rng = np.random.default_rng(seed)
+        self.rng = derived_generator(seed, "flaky", _scope_name(a),
+                                     _scope_name(b), transport or "*")
 
     def covers(self, src: Host, dst: Host, transport: str | None) -> bool:
         if self.transport is not None and transport != self.transport:

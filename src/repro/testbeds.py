@@ -59,7 +59,8 @@ def make_sp2(nodes_a: int = 2, nodes_b: int = 2, *,
              seed: int = 0,
              switch_tcp: LinkProfile = SP2_SWITCH_TCP,
              retry_policy: "RetryPolicy | None" = None,
-             health: "HealthConfig | None" = None) -> SP2Testbed:
+             health: "HealthConfig | None" = None,
+             observe: bool | None = None) -> SP2Testbed:
     """Build the paper's experimental platform.
 
     ``nodes_a``/``nodes_b`` processors are placed in partitions "A" and
@@ -76,7 +77,8 @@ def make_sp2(nodes_a: int = 2, nodes_b: int = 2, *,
     partition_b = machine.new_partition("B", hosts_b)
     nexus = Nexus(sim, network, transports=transports, costs=costs,
                   runtime_costs=runtime_costs, seed=seed,
-                  retry_policy=retry_policy, health=health)
+                  retry_policy=retry_policy, health=health,
+                  observe=observe)
     return SP2Testbed(sim=sim, nexus=nexus, machine=machine,
                       partition_a=partition_a, partition_b=partition_b,
                       hosts_a=hosts_a, hosts_b=hosts_b)

@@ -1,0 +1,110 @@
+"""LoadScenario / FleetSpec validation and rate-scaling algebra."""
+
+import dataclasses
+
+import pytest
+
+from repro.load import (
+    ClosedLoop,
+    FixedSize,
+    FleetSpec,
+    LoadScenario,
+    LoadSpecError,
+    OpenLoop,
+)
+
+
+def _fleet(**overrides):
+    spec = dict(name="rpc", clients=4, arrival=OpenLoop(rate=10.0),
+                sizes=FixedSize(1024), route="remote")
+    spec.update(overrides)
+    return FleetSpec(**spec)
+
+
+def _scenario(**overrides):
+    spec = dict(name="s", fleets=(_fleet(),), duration=1.0)
+    spec.update(overrides)
+    return LoadScenario(**spec)
+
+
+class TestFleetSpec:
+    def test_open_rate_sums_clients(self):
+        assert _fleet(clients=4).open_rate == 40.0
+
+    def test_closed_loop_fleet_offers_no_open_rate(self):
+        fleet = _fleet(arrival=ClosedLoop(think_time=0.1))
+        assert fleet.open_rate == 0.0
+
+    def test_rejects_zero_clients(self):
+        with pytest.raises(LoadSpecError):
+            _fleet(clients=0)
+
+    def test_rejects_unknown_route(self):
+        with pytest.raises(LoadSpecError):
+            _fleet(route="sideways")
+
+    def test_rejects_negative_service(self):
+        with pytest.raises(LoadSpecError):
+            _fleet(service_ops=-1)
+        with pytest.raises(LoadSpecError):
+            _fleet(service_time=-0.1)
+
+
+class TestScenarioValidation:
+    def test_rejects_empty_fleets(self):
+        with pytest.raises(LoadSpecError):
+            _scenario(fleets=())
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(LoadSpecError):
+            _scenario(duration=0.0)
+
+    def test_rejects_duplicate_fleet_names(self):
+        with pytest.raises(LoadSpecError):
+            _scenario(fleets=(_fleet(), _fleet()))
+
+    def test_rejects_local_route_without_local_servers(self):
+        with pytest.raises(LoadSpecError):
+            _scenario(fleets=(_fleet(route="local"),), local_servers=0)
+
+    def test_local_servers_optional_for_remote_only(self):
+        scenario = _scenario(local_servers=0)
+        assert scenario.local_servers == 0
+
+    def test_skip_map(self):
+        scenario = _scenario(skip_poll=(("tcp", 8), ("udp", 2)))
+        assert scenario.skip_map() == {"tcp": 8, "udp": 2}
+
+
+class TestRateScaling:
+    def test_scaled_multiplies_open_rates_only(self):
+        closed = _fleet(name="bg", arrival=ClosedLoop(think_time=0.1))
+        scenario = _scenario(fleets=(_fleet(), closed))
+        doubled = scenario.scaled(2.0)
+        assert doubled.open_rate == 80.0
+        assert doubled.fleets[1].arrival == closed.arrival
+
+    def test_at_rate_targets_total(self):
+        scenario = _scenario()      # 4 clients x 10/s = 40/s
+        assert scenario.at_rate(100.0).open_rate == pytest.approx(100.0)
+
+    def test_at_rate_requires_open_fleet(self):
+        scenario = _scenario(
+            fleets=(_fleet(arrival=ClosedLoop(think_time=0.1)),))
+        with pytest.raises(LoadSpecError):
+            scenario.at_rate(100.0)
+
+    def test_scaled_rejects_nonpositive_factor(self):
+        with pytest.raises(LoadSpecError):
+            _scenario().scaled(0.0)
+
+    def test_scaling_preserves_identity_fields(self):
+        scenario = _scenario(skip_poll=(("tcp", 4),), seed=9)
+        scaled = scenario.scaled(3.0)
+        assert scaled.seed == 9
+        assert scaled.skip_poll == (("tcp", 4),)
+        assert scaled.name == scenario.name
+
+    def test_scenarios_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            _scenario().duration = 2.0

@@ -22,6 +22,7 @@ EXPECTED_OUTPUT = {
     "fortran_m_pipeline.py": "merged stream",
     "protocol_stacks.py": "lzw+tcp",
     "chaos_climate.py": "TCP recovered",
+    "load_capacity.py": "reproduced as capacity",
 }
 
 
