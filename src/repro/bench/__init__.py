@@ -14,6 +14,9 @@ One module per paper artefact:
 * :mod:`repro.bench.load` — the load tier: SLO-gated workload
   scenarios and the tuned-polling vs forwarding capacity comparison
   (:mod:`repro.load`).
+* :mod:`repro.bench.analysis` — the analysis tier: windowed chaos
+  telemetry with recovery time, the communication graph of the
+  forwarding run, and critical-path attribution (:mod:`repro.obs`).
 
 Each driver returns :class:`~repro.util.records.Series` /
 :class:`~repro.util.records.ResultTable` objects, renders them in the
@@ -27,6 +30,7 @@ document per run plus the baseline regression gate behind
 ``python -m repro.bench --baseline BASE.json --check``.
 """
 
+from .analysis import AnalysisBench, analysis_bench, check_analysis_shape
 from .figure4 import figure4, check_figure4_shape
 from .figure6 import figure6, check_figure6_shape
 from .load import LoadBench, check_load_shape, load_bench
@@ -35,12 +39,14 @@ from .record import (
     compare_records,
     load_record,
     record_ablations,
+    record_analysis,
     record_baselines,
     record_figure4,
     record_figure6,
     record_load,
     record_observability,
     record_table1,
+    record_windowed,
     validate_record_document,
 )
 from .table1 import table1, check_table1_shape
@@ -53,13 +59,16 @@ from .ablations import (
 )
 
 __all__ = [
+    "AnalysisBench",
     "BenchRecord",
     "LoadBench",
     "ablation_adaptive_skip",
+    "analysis_bench",
     "ablation_blocking_poll",
     "ablation_lightweight_startpoints",
     "ablation_mpi_layering",
     "ablation_rendezvous",
+    "check_analysis_shape",
     "check_figure4_shape",
     "check_figure6_shape",
     "check_load_shape",
@@ -70,12 +79,14 @@ __all__ = [
     "load_bench",
     "load_record",
     "record_ablations",
+    "record_analysis",
     "record_baselines",
     "record_figure4",
     "record_figure6",
     "record_load",
     "record_observability",
     "record_table1",
+    "record_windowed",
     "table1",
     "validate_record_document",
 ]

@@ -189,6 +189,21 @@ def _run_load(quick: bool, record: BenchRecord | None) -> None:
         print("shape: OK")
 
 
+def _run_analysis(quick: bool, record: BenchRecord | None) -> None:
+    from .analysis import analysis_bench, check_analysis_shape
+    from .record import record_analysis
+
+    bench = analysis_bench(quick=quick)
+    print(bench.render())
+    print(bench.chaos_verdict.summary())
+    if record is not None:
+        record_analysis(record, bench)
+    # The analysis workload is mode-independent (one short, tuned run),
+    # so the shape criteria hold in quick CI too.
+    check_analysis_shape(bench)
+    print("shape: OK")
+
+
 ARTEFACTS: dict[str, _t.Callable[[bool, BenchRecord | None], None]] = {
     "figure4": _run_figure4,
     "figure6": _run_figure6,
@@ -197,6 +212,7 @@ ARTEFACTS: dict[str, _t.Callable[[bool, BenchRecord | None], None]] = {
     "baselines": _run_baselines,
     "chaos": _run_chaos,
     "load": _run_load,
+    "analysis": _run_analysis,
 }
 
 
@@ -245,6 +261,11 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                         help="with --wall --check: relative band before a "
                              "wall metric gates "
                              f"(default {WALL_TOLERANCE})")
+    parser.add_argument("--export-dir", metavar="DIR", default=None,
+                        help="where the analysis artefact writes its "
+                             "timeline/graph/critpath documents "
+                             "(timeline.json, graph.json, graph.dot, "
+                             "critpath.json)")
     parser.add_argument("--list", action="store_true",
                         help="list artefacts and exit")
     args = parser.parse_args(argv)
@@ -258,6 +279,11 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     if args.wall and (args.trace or args.profile or args.flame):
         parser.error("--wall times untraced runs; it cannot be combined "
                      "with --trace/--profile/--flame")
+
+    if args.export_dir is not None:
+        from . import analysis as _analysis
+
+        _analysis.EXPORT_DIR = args.export_dir
 
     selected = args.artefacts or list(ARTEFACTS)
     for name in selected:

@@ -585,12 +585,91 @@ def record_load(record: BenchRecord, bench) -> None:
                    result.quantile_us(0.99) or 0.0, unit="us")
         record.add("load", f"{slug}.slo_passed", float(verdict.passed),
                    unit="bool", kind=KIND_COUNT, direction=DIR_HIGHER)
+        record_windowed(record, "load", slug, verdict.windowed)
     for name, cap in bench.capacities.items():
         slug = _slug(name)
         record.add("load", f"capacity.{slug}.rate", cap.capacity,
                    unit="rsr/s", direction=DIR_HIGHER)
         record.add("load", f"capacity.{slug}.probes", len(cap.probes),
                    unit="probes", kind=KIND_COUNT, direction=DIR_NONE)
+
+
+def record_windowed(record: BenchRecord, artefact: str, slug: str,
+                    windowed) -> None:
+    """Windowed-verdict metrics for one scenario (no-op without one).
+
+    ``worst_window_p99_us`` is recorded only when at least one window
+    measured anything, and ``recovery_ms`` only for runs whose fault
+    plan cleared — the metric *set* stays a pure function of the
+    scenario, so byte-determinism across identical runs holds.
+    """
+    if windowed is None:
+        return
+    record.add(artefact, f"{slug}.window_violations",
+               len(windowed.violations), unit="windows", kind=KIND_COUNT)
+    record.add(artefact, f"{slug}.window_empty",
+               len(windowed.empty_windows), unit="windows",
+               kind=KIND_COUNT)
+    record.add(artefact, f"{slug}.windowed_passed",
+               float(windowed.passed), unit="bool", kind=KIND_COUNT,
+               direction=DIR_NONE)
+    if windowed.worst_p99_us is not None:
+        record.add(artefact, f"{slug}.worst_window_p99_us",
+                   windowed.worst_p99_us, unit="us")
+    if windowed.fault_clear_s is not None:
+        record.add(artefact, f"{slug}.fault_clear_s",
+                   windowed.fault_clear_s, unit="s", direction=DIR_NONE)
+    if windowed.recovery_time_s is not None:
+        record.add(artefact, f"{slug}.recovery_ms",
+                   windowed.recovery_time_s * 1e3, unit="ms")
+    if windowed.saturation_onset_window is not None:
+        record.add(artefact, f"{slug}.saturation_onset_window",
+                   windowed.saturation_onset_window, unit="window",
+                   kind=KIND_COUNT, direction=DIR_NONE)
+
+
+def record_analysis(record: BenchRecord, bench) -> None:
+    """Windowed chaos outcome, comm-graph shape, and critical paths."""
+    chaos = bench.chaos_result
+    record.add("analysis", "chaos.offered", chaos.offered, unit="rsrs",
+               kind=KIND_COUNT)
+    record.add("analysis", "chaos.delivered", chaos.delivered,
+               unit="rsrs", kind=KIND_COUNT, direction=DIR_HIGHER)
+    record.add("analysis", "chaos.retries", chaos.retries, unit="retries",
+               kind=KIND_COUNT)
+    record.add("analysis", "chaos.failovers", chaos.failovers,
+               unit="failovers", kind=KIND_COUNT)
+    record.add("analysis", "chaos.slo_passed",
+               float(bench.chaos_verdict.passed), unit="bool",
+               kind=KIND_COUNT, direction=DIR_HIGHER)
+    record_windowed(record, "analysis", "chaos",
+                    bench.chaos_verdict.windowed)
+
+    record.add("analysis", "graph.nodes", len(bench.graph.nodes),
+               unit="nodes", kind=KIND_COUNT)
+    record.add("analysis", "graph.edges", len(bench.graph.edges),
+               unit="edges", kind=KIND_COUNT)
+    record.add("analysis", "graph.messages", bench.graph.total_messages,
+               unit="msgs", kind=KIND_COUNT)
+    record.add("analysis", "graph.bytes", bench.graph.total_bytes,
+               unit="B", kind=KIND_COUNT)
+    record.add("analysis", "graph.cut_fraction_bytes",
+               _t.cast(float, bench.partition_costs["cut_fraction_bytes"]),
+               unit="frac", direction=DIR_NONE)
+
+    record.add("analysis", "critpath.paths", len(bench.paths),
+               unit="paths", kind=KIND_COUNT)
+    if bench.paths:
+        top = bench.paths[0]
+        record.add("analysis", "critpath.top_latency_us",
+                   top.latency_s * 1e6, unit="us")
+        record.add("analysis", "critpath.top_wire_hops", top.wire_hops,
+                   unit="hops", kind=KIND_COUNT)
+        from ..obs.critpath import phase_attribution
+
+        for phase, share in phase_attribution(bench.paths).items():
+            record.add("analysis", f"critpath.phase.{_slug(phase)}_us",
+                       share * 1e6, unit="us")
 
 
 def record_observability(record: BenchRecord, artefact: str,
@@ -635,6 +714,7 @@ __all__ = [
     "git_sha",
     "load_record",
     "record_ablations",
+    "record_analysis",
     "record_baselines",
     "record_chaos",
     "record_figure4",
@@ -642,5 +722,6 @@ __all__ = [
     "record_load",
     "record_observability",
     "record_table1",
+    "record_windowed",
     "validate_record_document",
 ]

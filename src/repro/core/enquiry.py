@@ -219,6 +219,13 @@ class EnquiryReport:
     #: dict; ``None`` when no SLO was evaluated).  Core stays ignorant
     #: of the load tier — this is just a carried annotation.
     slo: dict[str, object] | None = None
+    #: Windowed-telemetry summary (per-window throughput and latency;
+    #: ``None`` when the runtime recorded no timeline).  Empty windows
+    #: carry ``None`` entries — n/a, never a measured 0.
+    timeline: dict[str, object] | None = None
+    #: Analysis-layer summary (communication graph, critical paths);
+    #: built on request via ``report(nexus, analysis=True)``.
+    analysis: dict[str, object] | None = None
 
     def with_slo(self, verdict: dict[str, object]) -> "EnquiryReport":
         """A copy of this report carrying an SLO verdict section."""
@@ -241,6 +248,10 @@ class EnquiryReport:
         }
         if self.slo is not None:
             out["slo"] = self.slo
+        if self.timeline is not None:
+            out["timeline"] = self.timeline
+        if self.analysis is not None:
+            out["analysis"] = self.analysis
         return out
 
 
@@ -323,8 +334,86 @@ def _build_health_report(nexus: "Nexus") -> HealthReport:
     )
 
 
-def report(nexus: "Nexus") -> EnquiryReport:
-    """The one-stop enquiry aggregate over a whole runtime."""
+def _build_timeline_report(nexus: "Nexus") -> dict[str, object] | None:
+    """Per-window throughput/latency summary of an attached timeline.
+
+    Windows in which no RSR finished yield ``None`` latency entries —
+    n/a, following the ``PollStats.hit_rate`` convention."""
+    from ..obs.timeline import KEY_ALL, SERIES_DELIVERED, SERIES_DROPPED, \
+        SERIES_ISSUED, SERIES_LATENCY
+
+    timeline = nexus.obs.timeline
+    if timeline is None:
+        return None
+    window_range = timeline.window_range()
+    if window_range is None:
+        return {"interval_s": timeline.interval, "windows": None}
+    lo, hi = window_range
+    return {
+        "interval_s": timeline.interval,
+        "windows": {"lo": lo, "hi": hi},
+        "issued": timeline.counter_series(
+            SERIES_ISSUED, KEY_ALL, lo=lo, hi=hi),
+        "delivered": timeline.counter_total_series(
+            SERIES_DELIVERED, prefix="method=", lo=lo, hi=hi),
+        "dropped": timeline.counter_total_series(
+            SERIES_DROPPED, prefix="method=", lo=lo, hi=hi),
+        "p99_latency_us": timeline.quantile_series(
+            SERIES_LATENCY, KEY_ALL, 0.99, lo=lo, hi=hi),
+        "mean_latency_us": timeline.mean_series(
+            SERIES_LATENCY, KEY_ALL, lo=lo, hi=hi),
+    }
+
+
+def _build_analysis_report(nexus: "Nexus", *,
+                           top_paths: int = 5) -> dict[str, object] | None:
+    """Communication-graph and critical-path summaries (traced runs)."""
+    from ..obs.critpath import extract_critical_paths, phase_attribution
+    from ..obs.graph import extract_graph
+
+    obs = nexus.obs
+    if not obs.enabled or not obs.spans:
+        return None
+    graph = extract_graph(obs, nexus=nexus)
+    nodes = graph.node_list()
+    heavy = sorted(graph.edge_list(),
+                   key=lambda e: (-e.bytes, e.src, e.dst, e.method))
+    paths = extract_critical_paths(obs, top_k=top_paths)
+    return {
+        "graph": {
+            "nodes": len(nodes),
+            "edges": len(graph.edges),
+            "total_messages": graph.total_messages,
+            "total_bytes": graph.total_bytes,
+            "undelivered": sum(n.undelivered for n in nodes),
+            "top_edges": [
+                {"src": nodes[e.src].component, "dst": nodes[e.dst].component,
+                 "method": e.method, "messages": e.messages,
+                 "bytes": e.bytes, "wire_s": e.wire_s}
+                for e in heavy[:5]
+            ],
+        },
+        "critical_paths": [
+            {"rsr": path.rsr, "handler": path.handler,
+             "latency_us": path.latency_s * 1e6,
+             "wire_hops": path.wire_hops, "dropped": path.dropped,
+             "phase_us": {phase: share * 1e6
+                          for phase, share in path.phase_s.items()}}
+            for path in paths
+        ],
+        "phase_attribution_us": {
+            phase: total * 1e6
+            for phase, total in phase_attribution(paths).items()},
+    }
+
+
+def report(nexus: "Nexus", *, analysis: bool = False) -> EnquiryReport:
+    """The one-stop enquiry aggregate over a whole runtime.
+
+    ``analysis=True`` additionally extracts the communication graph and
+    top critical paths from the span log (traced runs only) — off by
+    default because extraction walks every span.
+    """
     return EnquiryReport(
         now=nexus.sim.now,
         transports=_build_transport_report(nexus),
@@ -334,6 +423,8 @@ def report(nexus: "Nexus") -> EnquiryReport:
         latency=_build_latency_report(nexus),
         poll_batches=_build_poll_batch_report(nexus),
         health=_build_health_report(nexus),
+        timeline=_build_timeline_report(nexus),
+        analysis=_build_analysis_report(nexus) if analysis else None,
     )
 
 

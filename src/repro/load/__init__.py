@@ -60,7 +60,8 @@ from .scenario import (
     ROUTE_LOCAL,
     ROUTE_REMOTE,
 )
-from .slo import SLO, ObjectiveResult, SLOVerdict, evaluate
+from .slo import (SLO, ObjectiveResult, SLOVerdict, WindowedVerdict,
+                  evaluate, evaluate_windows, saturation_onset)
 
 __all__ = [
     "ArrivalProcess",
@@ -90,7 +91,10 @@ __all__ = [
     "SLOVerdict",
     "SizeDist",
     "UniformSize",
+    "WindowedVerdict",
     "evaluate",
+    "evaluate_windows",
+    "saturation_onset",
     "find_capacity",
     "run_scenario",
 ]

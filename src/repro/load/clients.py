@@ -27,6 +27,7 @@ from ..core.buffers import Buffer
 from ..core.enquiry import EnquiryReport, report as enquiry_report
 from ..core.errors import NexusError
 from ..obs.metrics import Histogram, LATENCY_BUCKETS_US
+from ..obs.timeline import Timeline
 from ..testbeds import make_sp2
 from .arrivals import ClosedLoop, OpenLoop
 from .scenario import LoadScenario, ROUTE_LOCAL
@@ -76,6 +77,12 @@ class LoadResult:
     messages_dropped: int
     bytes_dropped: int
     sim_events: int
+    #: Windowed telemetry recorded alongside the aggregates (interval =
+    #: ``duration / scenario.timeline_windows``).
+    timeline: Timeline | None = None
+    #: ``(sim_time, action, detail)`` fault transitions that fired
+    #: during the run (empty without chaos).
+    fault_log: tuple[tuple[float, str, str], ...] = ()
 
     # -- aggregates ----------------------------------------------------------
 
@@ -201,6 +208,8 @@ def run_scenario(scenario: LoadScenario) -> LoadResult:
     )
     nexus = bed.nexus
     sim = bed.sim
+    timeline = nexus.obs.enable_timeline(
+        scenario.duration / scenario.timeline_windows)
 
     client_hosts = bed.hosts_a[:scenario.client_hosts]
     local_hosts = bed.hosts_a[scenario.client_hosts:]
@@ -375,8 +384,10 @@ def run_scenario(scenario: LoadScenario) -> LoadResult:
             if stop_flags[ctx.id] and not work:
                 return
 
+    fault_plan = None
     if scenario.chaos is not None:
-        scenario.chaos(bed).install(sim)
+        fault_plan = scenario.chaos(bed)
+        fault_plan.install(sim)
 
     client_procs = [nexus.spawn(body, name=name)
                     for body, name in zip(client_bodies, client_names)]
@@ -429,6 +440,8 @@ def run_scenario(scenario: LoadScenario) -> LoadResult:
         bytes_dropped=sum(stats.bytes_dropped
                           for stats in snapshot.transports.values()),
         sim_events=sim.events_processed,
+        timeline=timeline,
+        fault_log=tuple(fault_plan.log) if fault_plan is not None else (),
     )
 
 

@@ -110,12 +110,19 @@ class LoadScenario:
     #: stable for ``drain_grace`` sim-seconds, capped at ``max_drain``.
     drain_grace: float = 0.05
     max_drain: float = 2.0
+    #: Windowed-telemetry resolution: the offered-load window is carved
+    #: into this many fixed-interval timeline windows (the drain phase
+    #: extends the timeline past the window at the same interval).
+    timeline_windows: int = 24
 
     def __post_init__(self) -> None:
         if not self.fleets:
             raise LoadSpecError(f"scenario {self.name!r} has no fleets")
         if self.duration <= 0:
             raise LoadSpecError(f"bad duration {self.duration!r}")
+        if self.timeline_windows < 1:
+            raise LoadSpecError(
+                f"bad timeline_windows {self.timeline_windows!r}")
         if self.client_hosts < 1 or self.remote_servers < 1:
             raise LoadSpecError(
                 f"scenario {self.name!r} needs at least one client host "

@@ -11,6 +11,11 @@ Three pieces (see :mod:`~repro.obs.spans`, :mod:`~repro.obs.metrics`,
 * **exporters**: Chrome trace-event JSON (Perfetto), JSONL span dumps,
   and ASCII timelines/charts for terminals.
 
+On top of those sits the **analysis layer** (:mod:`~repro.obs.timeline`,
+:mod:`~repro.obs.graph`, :mod:`~repro.obs.critpath`): sim-time-windowed
+counters/histograms, weighted communication-graph extraction, and
+per-RSR critical paths — all byte-deterministic and exportable.
+
 Enable per runtime with ``Nexus(observe=True)``, or process-wide for a
 scope with::
 
@@ -32,6 +37,17 @@ import typing as _t
 
 from . import export  # noqa: F401  (re-exported submodule)
 from . import perf  # noqa: F401  (re-exported submodule)
+from .critpath import (
+    CriticalPath,
+    extract_critical_paths,
+    phase_attribution,
+)
+from .graph import (
+    CommGraph,
+    dot_graph,
+    evaluate_partition,
+    extract_graph,
+)
 from .metrics import (
     COUNT_BUCKETS,
     LATENCY_BUCKETS_US,
@@ -48,6 +64,7 @@ from .spans import (
     Observability,
     Span,
 )
+from .timeline import Timeline, timeline_document
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from ..core.runtime import Nexus
@@ -124,7 +141,9 @@ def note_runtime(obs: Observability, nexus: "Nexus | None") -> None:
 
 __all__ = [
     "COUNT_BUCKETS",
+    "CommGraph",
     "Counter",
+    "CriticalPath",
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS_US",
@@ -135,10 +154,17 @@ __all__ = [
     "PHASES",
     "PerfProfile",
     "Span",
+    "Timeline",
     "collecting",
     "default_observe",
+    "dot_graph",
+    "evaluate_partition",
     "export",
+    "extract_critical_paths",
+    "extract_graph",
     "note_runtime",
     "observe_by_default",
+    "phase_attribution",
+    "timeline_document",
     "watching_runtimes",
 ]

@@ -1,0 +1,189 @@
+"""Per-RSR critical-path extraction over span parent/fork links.
+
+Each traced RSR is a tree of spans (multicast forks and forwarding hops
+included).  The *critical path* of one RSR is the root-to-leaf chain
+ending at the latest-finishing span — the sequence of phases that
+actually determined its end-to-end latency; everything off that chain
+overlapped something slower.
+
+Attribution is exact by construction: walking the path root → leaf,
+each non-leaf step is charged ``next.start - this.start`` (the time the
+RSR sat in this phase before the next one took over — lifecycle phases
+are contiguous, so this is normally the span's own duration, and for
+the long-lived ``issue`` root it is the slice before hand-off) and the
+leaf is charged its full duration, so the step times sum exactly to the
+end-to-end latency.  Summing steps by phase answers "where did the p99
+RSR spend its time"; the ``wire`` steps carry per-link attribution
+(which context, which method).
+
+Context ids are renumbered densely by first appearance and paths sort
+by (latency desc, rsr id), so extraction and the JSON export are
+byte-deterministic across identical runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing as _t
+
+from .spans import PHASE_WIRE, Observability, Span
+
+CRITPATH_SCHEMA = "repro.obs.critpath"
+CRITPATH_SCHEMA_VERSION = 1
+
+_JSON_KW: dict[str, object] = {"sort_keys": True,
+                               "separators": (",", ":")}
+
+
+@dataclasses.dataclass(frozen=True)
+class PathStep:
+    """One phase on a critical path, with its exact latency share."""
+
+    phase: str
+    lane: str
+    rank: int           # dense context rank (deterministic)
+    start_s: float
+    share_s: float      # this step's contribution to end-to-end latency
+
+
+@dataclasses.dataclass(frozen=True)
+class CriticalPath:
+    """The latency-determining chain of one RSR."""
+
+    rsr: int
+    handler: str
+    latency_s: float
+    dropped: bool       # the path ends at a dropped message
+    steps: tuple[PathStep, ...]
+
+    @property
+    def phase_s(self) -> dict[str, float]:
+        """Latency share summed by phase, in path order."""
+        out: dict[str, float] = {}
+        for step in self.steps:
+            out[step.phase] = out.get(step.phase, 0.0) + step.share_s
+        return out
+
+    @property
+    def wire_hops(self) -> int:
+        return sum(1 for step in self.steps if step.phase == PHASE_WIRE)
+
+
+def extract_critical_paths(source: "Observability | _t.Sequence[Span]", *,
+                           top_k: int | None = None) -> list[CriticalPath]:
+    """Critical paths of every traced RSR, slowest first.
+
+    ``top_k`` keeps only the K slowest.  RSRs with no finished span
+    (nothing ever closed) are skipped; a path ending at a dropped
+    message is kept and flagged ``dropped``.
+    """
+    spans = source.spans if isinstance(source, Observability) else source
+    ctx_rank: dict[int, int] = {}
+    for span in spans:
+        if span.ctx not in ctx_rank:
+            ctx_rank[span.ctx] = len(ctx_rank)
+    by_rsr: dict[int, list[Span]] = {}
+    for span in spans:
+        if span.rsr > 0:
+            by_rsr.setdefault(span.rsr, []).append(span)
+
+    paths: list[CriticalPath] = []
+    for rsr, rsr_spans in by_rsr.items():
+        by_id = {span.id: span for span in rsr_spans}
+        finished = [span for span in rsr_spans if span.end is not None]
+        if not finished:
+            continue
+        leaf = max(finished, key=lambda span: (span.end, span.id))
+        chain: list[Span] = []
+        cursor: Span | None = leaf
+        while cursor is not None:
+            chain.append(cursor)
+            cursor = (by_id.get(cursor.parent)
+                      if cursor.parent is not None else None)
+        chain.reverse()
+        steps: list[PathStep] = []
+        for index, span in enumerate(chain):
+            if index + 1 < len(chain):
+                share = chain[index + 1].start - span.start
+            else:
+                share = _t.cast(float, span.end) - span.start
+            steps.append(PathStep(
+                phase=span.phase, lane=span.lane,
+                rank=ctx_rank[span.ctx],
+                start_s=span.start, share_s=share))
+        root = chain[0]
+        handler = ""
+        if root.attrs is not None:
+            handler = str(root.attrs.get("handler", ""))
+        dropped = bool(leaf.attrs and leaf.attrs.get("dropped"))
+        paths.append(CriticalPath(
+            rsr=rsr, handler=handler,
+            latency_s=_t.cast(float, leaf.end) - root.start,
+            dropped=dropped, steps=tuple(steps)))
+
+    paths.sort(key=lambda path: (-path.latency_s, path.rsr))
+    return paths[:top_k] if top_k is not None else paths
+
+
+def phase_attribution(paths: _t.Sequence[CriticalPath]
+                      ) -> dict[str, float]:
+    """Total critical-path seconds per phase across ``paths`` — where
+    end-to-end latency actually accumulates."""
+    totals: dict[str, float] = {}
+    for path in paths:
+        for phase, share in path.phase_s.items():
+            totals[phase] = totals.get(phase, 0.0) + share
+    return dict(sorted(totals.items(), key=lambda kv: (-kv[1], kv[0])))
+
+
+# -- export -------------------------------------------------------------------
+
+def critpath_document(paths: _t.Sequence[CriticalPath], *,
+                      meta: _t.Mapping[str, object] | None = None
+                      ) -> dict[str, object]:
+    """Critical paths as a JSON-ready, deterministic document."""
+    return {
+        "schema": CRITPATH_SCHEMA,
+        "schema_version": CRITPATH_SCHEMA_VERSION,
+        "paths": [
+            {
+                "rsr": path.rsr,
+                "handler": path.handler,
+                "latency_s": path.latency_s,
+                "dropped": path.dropped,
+                "wire_hops": path.wire_hops,
+                "phase_s": path.phase_s,
+                "steps": [dataclasses.asdict(step) for step in path.steps],
+            }
+            for path in paths
+        ],
+        "phase_attribution_s": phase_attribution(paths),
+        "meta": dict(meta) if meta else {},
+    }
+
+
+def dumps_critpaths(paths: _t.Sequence[CriticalPath], *,
+                    meta: _t.Mapping[str, object] | None = None) -> str:
+    return json.dumps(critpath_document(paths, meta=meta),
+                      **_JSON_KW)  # type: ignore[arg-type]
+
+
+def write_critpaths(path: str, paths: _t.Sequence[CriticalPath], *,
+                    meta: _t.Mapping[str, object] | None = None) -> None:
+    with open(path, "w") as handle:
+        handle.write(dumps_critpaths(paths, meta=meta))
+        handle.write("\n")
+
+
+__all__ = [
+    "CRITPATH_SCHEMA",
+    "CRITPATH_SCHEMA_VERSION",
+    "CriticalPath",
+    "PathStep",
+    "critpath_document",
+    "dumps_critpaths",
+    "extract_critical_paths",
+    "phase_attribution",
+    "write_critpaths",
+]

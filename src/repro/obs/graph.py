@@ -1,0 +1,311 @@
+"""Weighted communication-graph extraction from span traces.
+
+ROADMAP item 2 needs the application's communication structure as data:
+which (rank, component) pairs talk, how much, over which method.  This
+module recovers exactly that from the span substrate — every delivered
+message leaves a ``wire`` span whose parent sits at the sending context
+and whose first non-wire child (``poll_detect``/``dispatch``) sits at
+the receiving context, so the edge list falls out of the parent links:
+
+* **nodes** are contexts, densely renumbered to ranks by first
+  appearance in the span log (raw context ids are process-global and
+  would break byte-determinism), labelled with component and host names
+  when a runtime is supplied;
+* **edges** are (src rank, dst rank, method) with message count, bytes
+  (the wire span's ``nbytes`` attribute), total wire transit sim-time,
+  and total detection sim-time.
+
+Multicast group sends appear as one edge per member (the fork children
+carry the per-member wire spans; the group's serialisation span, whose
+children are all wire spans, contributes no edge itself).  Forwarding
+appears as per-hop edges through the forwarder.  Wire spans with no
+delivery child — dropped or still in flight at snapshot time — are
+counted per source node as ``undelivered``, never silently discarded.
+
+Exports follow the house rules: sorted-key JSON documents and a
+Graphviz DOT rendering, both byte-identical across identical runs.
+:func:`evaluate_partition` is the seed of the placement planner: given
+an assignment of ranks to partitions it splits the traffic into
+intra/cross-partition shares and reports the cut cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing as _t
+
+from .spans import PHASE_POLL_DETECT, PHASE_WIRE, Observability, Span
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..core.runtime import Nexus
+
+GRAPH_SCHEMA = "repro.obs.graph"
+GRAPH_SCHEMA_VERSION = 1
+
+_JSON_KW: dict[str, object] = {"sort_keys": True,
+                               "separators": (",", ":")}
+
+
+@dataclasses.dataclass
+class GraphNode:
+    """One communicating context, identified by its dense rank."""
+
+    rank: int
+    component: str
+    host: str
+    messages_in: int = 0
+    messages_out: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    #: Wire spans leaving this node that never reached a delivery phase
+    #: (dropped by a fault, or still in flight when the log was cut).
+    undelivered: int = 0
+
+
+@dataclasses.dataclass
+class GraphEdge:
+    """Directed traffic between two ranks over one transport method."""
+
+    src: int
+    dst: int
+    method: str
+    messages: int = 0
+    bytes: int = 0
+    #: Total sim-time spent in physical transit on this edge.
+    wire_s: float = 0.0
+    #: Total sim-time from arrival to poll pickup on this edge.
+    detect_s: float = 0.0
+
+
+class CommGraph:
+    """The extracted weighted communication graph.
+
+    ``nodes`` is keyed by rank; ``edges`` by ``(src, dst, method)``.
+    """
+
+    def __init__(self) -> None:
+        self.nodes: dict[int, GraphNode] = {}
+        self.edges: dict[tuple[int, int, str], GraphEdge] = {}
+
+    def edge_list(self) -> list[GraphEdge]:
+        """Edges in deterministic (src, dst, method) order."""
+        return [self.edges[key] for key in sorted(self.edges)]
+
+    def node_list(self) -> list[GraphNode]:
+        return [self.nodes[rank] for rank in sorted(self.nodes)]
+
+    @property
+    def total_messages(self) -> int:
+        return sum(edge.messages for edge in self.edges.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(edge.bytes for edge in self.edges.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<CommGraph nodes={len(self.nodes)} "
+                f"edges={len(self.edges)} msgs={self.total_messages}>")
+
+
+def _delivery_edges(spans: _t.Sequence[Span]
+                    ) -> _t.Iterator[tuple[int, int, str, int, float,
+                                           float, bool]]:
+    """Yield (src_ctx, dst_ctx, method, nbytes, wire_s, detect_s,
+    delivered) per wire span that represents a point-to-point transit."""
+    by_id: dict[int, Span] = {}
+    children: dict[int, list[Span]] = {}
+    for span in spans:
+        by_id[span.id] = span
+        if span.parent is not None:
+            children.setdefault(span.parent, []).append(span)
+    for span in spans:
+        if span.phase != PHASE_WIRE:
+            continue
+        kids = children.get(span.id, ())
+        delivery = [k for k in kids if k.phase != PHASE_WIRE]
+        if not delivery and any(k.phase == PHASE_WIRE for k in kids):
+            # Group-send serialisation span: the fork children carry the
+            # per-member transits, so this span itself is not an edge.
+            continue
+        parent = by_id.get(span.parent) if span.parent is not None else None
+        src_ctx = parent.ctx if parent is not None else span.ctx
+        nbytes = 0
+        if span.attrs is not None:
+            nbytes = int(_t.cast(int, span.attrs.get("nbytes", 0)))
+        if not delivery:
+            yield src_ctx, -1, span.lane, nbytes, 0.0, 0.0, False
+            continue
+        first = delivery[0]
+        detect_s = 0.0
+        if first.phase == PHASE_POLL_DETECT and first.duration is not None:
+            detect_s = first.duration
+        yield (src_ctx, first.ctx, span.lane, nbytes,
+               span.duration or 0.0, detect_s, True)
+
+
+def extract_graph(source: "Observability | _t.Sequence[Span]", *,
+                  nexus: "Nexus | None" = None) -> CommGraph:
+    """Extract the communication graph from a span log.
+
+    ``source`` is an :class:`Observability` or a raw span sequence;
+    passing ``nexus`` labels nodes with context/host names (otherwise
+    components render as ``ctx<rank>`` / host ``?``).
+    """
+    spans = source.spans if isinstance(source, Observability) else source
+    names: dict[int, tuple[str, str]] = {}
+    if nexus is not None:
+        names = {context.id: (context.name, context.host.name)
+                 for context in nexus.contexts.values()}
+    graph = CommGraph()
+    ranks: dict[int, int] = {}
+
+    def node_for(ctx: int) -> GraphNode:
+        rank = ranks.get(ctx)
+        if rank is None:
+            rank = ranks[ctx] = len(ranks)
+            component, host = names.get(ctx, (f"ctx{rank}", "?"))
+            graph.nodes[rank] = GraphNode(rank=rank, component=component,
+                                          host=host)
+        return graph.nodes[rank]
+
+    for (src_ctx, dst_ctx, method, nbytes, wire_s, detect_s,
+         delivered) in _delivery_edges(spans):
+        src = node_for(src_ctx)
+        if not delivered:
+            src.undelivered += 1
+            continue
+        dst = node_for(dst_ctx)
+        key = (src.rank, dst.rank, method)
+        edge = graph.edges.get(key)
+        if edge is None:
+            edge = graph.edges[key] = GraphEdge(
+                src=src.rank, dst=dst.rank, method=method)
+        edge.messages += 1
+        edge.bytes += nbytes
+        edge.wire_s += wire_s
+        edge.detect_s += detect_s
+        src.messages_out += 1
+        src.bytes_out += nbytes
+        dst.messages_in += 1
+        dst.bytes_in += nbytes
+    return graph
+
+
+# -- partition cost -----------------------------------------------------------
+
+def evaluate_partition(graph: CommGraph,
+                       assignment: _t.Mapping[int, str]
+                       ) -> dict[str, object]:
+    """Split the graph's traffic by a rank → partition assignment.
+
+    The cost summary the placement planner will minimise: cross-partition
+    messages/bytes/wire time versus intra-partition, plus the cut
+    fraction by bytes.  Ranks missing from ``assignment`` land in
+    partition ``"?"``.
+    """
+    intra = {"messages": 0, "bytes": 0, "wire_s": 0.0}
+    cross = {"messages": 0, "bytes": 0, "wire_s": 0.0}
+    per_method_cross: dict[str, int] = {}
+    for edge in graph.edge_list():
+        side = (intra if assignment.get(edge.src, "?")
+                == assignment.get(edge.dst, "?") else cross)
+        side["messages"] += edge.messages
+        side["bytes"] += edge.bytes
+        side["wire_s"] += edge.wire_s
+        if side is cross:
+            per_method_cross[edge.method] = (
+                per_method_cross.get(edge.method, 0) + edge.messages)
+    total_bytes = intra["bytes"] + cross["bytes"]
+    return {
+        "partitions": sorted(set(assignment.values())),
+        "intra": intra,
+        "cross": cross,
+        "cut_fraction_bytes": (cross["bytes"] / total_bytes
+                               if total_bytes else None),
+        "cross_messages_per_method": dict(sorted(
+            per_method_cross.items())),
+    }
+
+
+# -- export -------------------------------------------------------------------
+
+def graph_document(graph: CommGraph, *,
+                   meta: _t.Mapping[str, object] | None = None
+                   ) -> dict[str, object]:
+    """The graph as a JSON-ready, deterministic document."""
+    return {
+        "schema": GRAPH_SCHEMA,
+        "schema_version": GRAPH_SCHEMA_VERSION,
+        "nodes": [dataclasses.asdict(node) for node in graph.node_list()],
+        "edges": [dataclasses.asdict(edge) for edge in graph.edge_list()],
+        "total_messages": graph.total_messages,
+        "total_bytes": graph.total_bytes,
+        "meta": dict(meta) if meta else {},
+    }
+
+
+def dumps_graph(graph: CommGraph, *,
+                meta: _t.Mapping[str, object] | None = None) -> str:
+    return json.dumps(graph_document(graph, meta=meta),
+                      **_JSON_KW)  # type: ignore[arg-type]
+
+
+def write_graph(path: str, graph: CommGraph, *,
+                meta: _t.Mapping[str, object] | None = None) -> None:
+    with open(path, "w") as handle:
+        handle.write(dumps_graph(graph, meta=meta))
+        handle.write("\n")
+
+
+def dot_graph(graph: CommGraph, *, title: str = "commgraph") -> str:
+    """Graphviz DOT rendering: one cluster per host, edges labelled
+    ``method: messages / bytes`` with pen width scaled by bytes."""
+    lines = [f'digraph "{title}" {{',
+             "  rankdir=LR;",
+             '  node [shape=box, fontname="monospace"];']
+    hosts: dict[str, list[GraphNode]] = {}
+    for node in graph.node_list():
+        hosts.setdefault(node.host, []).append(node)
+    for index, host in enumerate(sorted(hosts)):
+        lines.append(f'  subgraph "cluster_{index}" {{')
+        lines.append(f'    label="{host}";')
+        for node in hosts[host]:
+            extra = (f"\\n!{node.undelivered} undelivered"
+                     if node.undelivered else "")
+            lines.append(
+                f'    n{node.rank} [label="{node.component}\\n'
+                f'in {node.messages_in} out {node.messages_out}{extra}"];')
+        lines.append("  }")
+    max_bytes = max((edge.bytes for edge in graph.edges.values()),
+                    default=0)
+    for edge in graph.edge_list():
+        width = 1.0 + (3.0 * edge.bytes / max_bytes if max_bytes else 0.0)
+        lines.append(
+            f'  n{edge.src} -> n{edge.dst} '
+            f'[label="{edge.method}: {edge.messages} msg / '
+            f'{edge.bytes} B", penwidth={width:.2f}];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_dot(path: str, graph: CommGraph, *,
+              title: str = "commgraph") -> None:
+    with open(path, "w") as handle:
+        handle.write(dot_graph(graph, title=title))
+
+
+__all__ = [
+    "GRAPH_SCHEMA",
+    "GRAPH_SCHEMA_VERSION",
+    "CommGraph",
+    "GraphEdge",
+    "GraphNode",
+    "dot_graph",
+    "dumps_graph",
+    "evaluate_partition",
+    "extract_graph",
+    "graph_document",
+    "write_dot",
+    "write_graph",
+]

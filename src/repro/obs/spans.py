@@ -35,6 +35,15 @@ import dataclasses
 import typing as _t
 
 from .metrics import COUNT_BUCKETS, LATENCY_BUCKETS_US, MetricsRegistry
+from .timeline import (
+    KEY_ALL,
+    SERIES_DELIVERED,
+    SERIES_DROPPED,
+    SERIES_ISSUED,
+    SERIES_LATENCY,
+    SERIES_PHASE,
+    Timeline,
+)
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from ..simnet.engine import Simulator
@@ -149,13 +158,18 @@ class MessageTrace:
 
     def drop(self, ctx: int = -1) -> None:
         """Terminate the trace at a message drop."""
+        obs = self.obs
         span = self.current
         if span is not None and span.end is None:
             if span.attrs is None:
                 span.attrs = {}
             span.attrs["dropped"] = True
-            self.obs.close_span(span)
-        self.obs._counter_handle("rsr_dropped", self.lane).inc()
+            obs.close_span(span)
+        obs._counter_handle("rsr_dropped", self.lane).inc()
+        timeline = obs.timeline
+        if timeline is not None:
+            timeline.inc(SERIES_DROPPED, f"method={self.lane}",
+                         obs.sim.now)
         self.current = None
 
     def finish(self, now: float, *, threaded: bool = False) -> None:
@@ -176,7 +190,17 @@ class MessageTrace:
             hist = obs.metrics.histogram(
                 "rsr_latency_us", LATENCY_BUCKETS_US, method=lane)
             obs._latency_hist[lane] = hist
-        hist.observe((now - self.issued_at) * 1e6)
+        latency_us = (now - self.issued_at) * 1e6
+        hist.observe(latency_us)
+        timeline = obs.timeline
+        if timeline is not None:
+            method_key = f"method={lane}"
+            timeline.observe(SERIES_LATENCY, method_key, now, latency_us)
+            timeline.observe(SERIES_LATENCY, KEY_ALL, now, latency_us)
+            timeline.inc(SERIES_DELIVERED, method_key, now)
+            if span is not None:
+                timeline.inc(SERIES_DELIVERED,
+                             f"rank={timeline.rank_of(span.ctx)}", now)
         if self.hops:
             obs._counter_handle("rsr_forwarded", lane).inc()
 
@@ -213,6 +237,22 @@ class Observability:
         self._latency_hist: dict[str, object] = {}
         self._batch_hist: dict[str, object] = {}
         self._counters: dict[tuple[str, str], object] = {}
+        #: Optional windowed telemetry (attach with :meth:`enable_timeline`).
+        self.timeline: Timeline | None = None
+        self._phase_tl_keys: dict[tuple[str, str], str] = {}
+
+    def enable_timeline(self, interval: float, *,
+                        bounds: _t.Sequence[float] = LATENCY_BUCKETS_US
+                        ) -> Timeline:
+        """Attach a fixed-interval :class:`~repro.obs.timeline.Timeline`.
+
+        Recording piggybacks on the span hooks, so the timeline only
+        fills while ``enabled`` is true; when no timeline is attached
+        the hot paths pay one attribute load and a branch.
+        """
+        timeline = Timeline(interval, bounds=bounds)
+        self.timeline = timeline
+        return timeline
 
     def _counter_handle(self, name: str, method: str):
         """Cached counter handle for a ``method``-labelled counter."""
@@ -251,7 +291,15 @@ class Observability:
                 "rsr_phase_us", LATENCY_BUCKETS_US,
                 phase=span.phase, lane=span.lane)
             self._phase_hist[key] = hist
-        hist.observe((end - span.start) * 1e6)
+        duration_us = (end - span.start) * 1e6
+        hist.observe(duration_us)
+        timeline = self.timeline
+        if timeline is not None:
+            tl_key = self._phase_tl_keys.get(key)
+            if tl_key is None:
+                tl_key = f"phase={span.phase}/{span.lane}"
+                self._phase_tl_keys[key] = tl_key
+            timeline.observe(SERIES_PHASE, tl_key, end, duration_us)
 
     # -- RSR lifecycle entry points ------------------------------------------
 
@@ -262,6 +310,9 @@ class Observability:
         if span is not None:
             self._next_rsr += 1
             self.rsrs_started += 1
+            timeline = self.timeline
+            if timeline is not None:
+                timeline.inc(SERIES_ISSUED, KEY_ALL, span.start)
         return span
 
     def attach(self, message: object, issue: Span) -> None:

@@ -26,6 +26,15 @@ counters the verdict was judged from (offered/delivered, p50/p99), the
 delivered count may not exceed the offered count, and every capacity
 search must publish both its rate and its probe count.
 
+**Analysis exports** — the windowed-telemetry, communication-graph,
+and critical-path documents written by ``python -m repro.bench analysis
+--export-dir`` (schemas ``repro.obs.timeline`` / ``repro.obs.graph`` /
+``repro.obs.critpath``): schema version, structural shape, and the
+internal invariants that make them trustworthy — histogram bucket
+counts sum to their sample counts, graph edges reference exported
+nodes and per-node totals match the edge list, and every critical
+path's step shares sum to its end-to-end latency.
+
 Used by the CI smoke jobs and the test suite; exits non-zero with a
 reason on the first violation.
 """
@@ -180,16 +189,156 @@ def validate_load_record(document: _t.Mapping[str, object]
             "capacity_searches": len(searches)}
 
 
+def _check_version(document: _t.Mapping[str, object], expected: int,
+                   kind: str) -> None:
+    if document.get("schema_version") != expected:
+        _fail(f"{kind}: unsupported schema_version "
+              f"{document.get('schema_version')!r}")
+
+
+def validate_timeline_document(document: _t.Mapping[str, object]
+                               ) -> dict[str, object]:
+    """Structural + invariant checks over a timeline export."""
+    from .timeline import TIMELINE_SCHEMA_VERSION
+
+    _check_version(document, TIMELINE_SCHEMA_VERSION, "timeline")
+    interval = document.get("interval_s")
+    if not isinstance(interval, (int, float)) or interval <= 0:
+        _fail(f"timeline: interval_s must be positive, got {interval!r}")
+    bounds = document.get("bounds")
+    if not isinstance(bounds, list) or bounds != sorted(bounds):
+        _fail("timeline: bounds must be a sorted list")
+    counters = document.get("counters")
+    histograms = document.get("histograms")
+    if not isinstance(counters, dict) or not isinstance(histograms, dict):
+        _fail("timeline: counters/histograms sections missing")
+    windows = document.get("windows")
+    if windows is not None and not (
+            isinstance(windows, dict)
+            and isinstance(windows.get("lo"), int)
+            and isinstance(windows.get("hi"), int)):
+        _fail("timeline: windows must be null or {lo, hi}")
+    samples = 0
+    for name, series in histograms.items():
+        for key, per_window in _t.cast(dict, series).items():
+            for window, snapshot in _t.cast(dict, per_window).items():
+                where = f"timeline histogram {name}/{key}@{window}"
+                counts = _t.cast(dict, snapshot).get("counts")
+                count = _t.cast(dict, snapshot).get("count")
+                if not isinstance(counts, list) or sum(counts) != count:
+                    _fail(f"{where}: bucket counts do not sum to count")
+                if len(counts) != len(bounds) + 1:
+                    _fail(f"{where}: expected {len(bounds) + 1} buckets, "
+                          f"got {len(counts)}")
+                samples += _t.cast(int, count)
+    return {"counter_series": sum(len(_t.cast(dict, s))
+                                  for s in counters.values()),
+            "histogram_series": sum(len(_t.cast(dict, s))
+                                    for s in histograms.values()),
+            "histogram_samples": samples}
+
+
+def validate_graph_document(document: _t.Mapping[str, object]
+                            ) -> dict[str, object]:
+    """Structural + invariant checks over a communication-graph export."""
+    from .graph import GRAPH_SCHEMA_VERSION
+
+    _check_version(document, GRAPH_SCHEMA_VERSION, "graph")
+    nodes = document.get("nodes")
+    edges = document.get("edges")
+    if not isinstance(nodes, list) or not isinstance(edges, list):
+        _fail("graph: nodes/edges sections missing")
+    ranks = set()
+    for node in nodes:
+        if not isinstance(node, dict) or not isinstance(
+                node.get("rank"), int):
+            _fail("graph: node lacks an integer rank")
+        ranks.add(node["rank"])
+    messages = bytes_total = 0
+    for index, edge in enumerate(edges):
+        if not isinstance(edge, dict):
+            _fail(f"graph: edges[{index}] is not an object")
+        for field in ("src", "dst", "method", "messages", "bytes"):
+            if field not in edge:
+                _fail(f"graph: edges[{index}] missing {field!r}")
+        if edge["src"] not in ranks or edge["dst"] not in ranks:
+            _fail(f"graph: edges[{index}] references an unknown rank")
+        messages += _t.cast(int, edge["messages"])
+        bytes_total += _t.cast(int, edge["bytes"])
+    if messages != document.get("total_messages"):
+        _fail("graph: edge messages do not sum to total_messages")
+    if bytes_total != document.get("total_bytes"):
+        _fail("graph: edge bytes do not sum to total_bytes")
+    # Per-node in/out totals must agree with the edge list.
+    inbound: dict[int, int] = {rank: 0 for rank in ranks}
+    outbound: dict[int, int] = {rank: 0 for rank in ranks}
+    for edge in edges:
+        outbound[_t.cast(int, edge["src"])] += _t.cast(int,
+                                                       edge["messages"])
+        inbound[_t.cast(int, edge["dst"])] += _t.cast(int,
+                                                      edge["messages"])
+    for node in nodes:
+        rank = _t.cast(int, node["rank"])
+        if node.get("messages_in") != inbound[rank] \
+                or node.get("messages_out") != outbound[rank]:
+            _fail(f"graph: node {rank} in/out totals disagree with edges")
+    return {"nodes": len(nodes), "edges": len(edges),
+            "messages": messages, "bytes": bytes_total}
+
+
+def validate_critpath_document(document: _t.Mapping[str, object]
+                               ) -> dict[str, object]:
+    """Structural + invariant checks over a critical-path export."""
+    from .critpath import CRITPATH_SCHEMA_VERSION
+
+    _check_version(document, CRITPATH_SCHEMA_VERSION, "critpath")
+    paths = document.get("paths")
+    if not isinstance(paths, list):
+        _fail("critpath: paths section missing")
+    for index, path in enumerate(paths):
+        if not isinstance(path, dict):
+            _fail(f"critpath: paths[{index}] is not an object")
+        steps = path.get("steps")
+        latency = path.get("latency_s")
+        if not isinstance(steps, list) or not steps:
+            _fail(f"critpath: paths[{index}] has no steps")
+        if not isinstance(latency, (int, float)) or latency < 0:
+            _fail(f"critpath: paths[{index}] latency_s invalid")
+        shares = sum(_t.cast(float, _t.cast(dict, step)["share_s"])
+                     for step in steps)
+        if abs(shares - _t.cast(float, latency)) > 1e-9:
+            _fail(f"critpath: paths[{index}] step shares sum to "
+                  f"{shares!r}, latency is {latency!r}")
+    if not isinstance(document.get("phase_attribution_s"), dict):
+        _fail("critpath: phase_attribution_s section missing")
+    return {"paths": len(paths),
+            "steps": sum(len(_t.cast(dict, p)["steps"]) for p in paths)}
+
+
+#: Analysis-document schemas to their validators (sniffed by schema id).
+ANALYSIS_VALIDATORS: dict[str, _t.Callable[
+    [_t.Mapping[str, object]], dict[str, object]]] = {
+    "repro.obs.timeline": validate_timeline_document,
+    "repro.obs.graph": validate_graph_document,
+    "repro.obs.critpath": validate_critpath_document,
+}
+
+
 def validate_file(path: str) -> tuple[str, dict[str, object]]:
     """Sniff ``path`` and validate it; returns (document kind, summary)."""
     from ..bench.record import SCHEMA, validate_record_document
 
     with open(path) as handle:
         document = json.load(handle)
-    if isinstance(document, dict) and document.get("schema") == SCHEMA:
-        summary = validate_record_document(document)
-        summary.update(validate_load_record(document))
-        return "record", summary
+    if isinstance(document, dict):
+        schema = document.get("schema")
+        if schema == SCHEMA:
+            summary = validate_record_document(document)
+            summary.update(validate_load_record(document))
+            return "record", summary
+        if isinstance(schema, str) and schema in ANALYSIS_VALIDATORS:
+            return (schema.rsplit(".", 1)[-1],
+                    ANALYSIS_VALIDATORS[schema](document))
     return "trace", validate_trace_document(document)
 
 
@@ -209,6 +358,17 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
               f"across {summary['artefacts']} artefacts, "
               f"{summary['load_scenarios']} load scenarios, "
               f"{summary['capacity_searches']} capacity searches")
+    elif kind == "timeline":
+        print(f"OK: timeline with {summary['counter_series']} counter "
+              f"series, {summary['histogram_series']} histogram series "
+              f"({summary['histogram_samples']} samples)")
+    elif kind == "graph":
+        print(f"OK: comm graph with {summary['nodes']} nodes, "
+              f"{summary['edges']} edges ({summary['messages']} msgs / "
+              f"{summary['bytes']} B)")
+    elif kind == "critpath":
+        print(f"OK: {summary['paths']} critical paths "
+              f"({summary['steps']} steps)")
     else:
         print(f"OK: {summary['span_events']} spans over "
               f"{summary['rsrs']} RSRs "

@@ -123,7 +123,8 @@ class MulticastTransport(IpTransport):
                 headers=dict(message.headers),
             )
             if trace is not None:
-                copy.trace = trace.fork(ctx=member_id, lane=self.name)
+                copy.trace = trace.fork(ctx=member_id, lane=self.name,
+                                        nbytes=copy.nbytes)
             profile = self.profile_between(local.host, destination.host)
             self.sim.process(
                 self._arrive_later(destination, copy, profile.latency),

@@ -19,6 +19,39 @@ from .records import Series
 #: Default glyphs assigned to series in order.
 GLYPHS = "*o+x#@%&"
 
+#: Sparkline intensity ramp, lowest to highest.
+SPARK_RAMP = ".:-=+*#%@"
+
+
+def sparkline(values: _t.Sequence[float | None], *,
+              lo: float | None = None, hi: float | None = None) -> str:
+    """One-line intensity strip for a windowed series.
+
+    ``None`` entries (windows with no samples — n/a, not zero) render
+    as a blank cell, so a gap in the signal stays visually distinct
+    from a measured low.  ``lo``/``hi`` pin the scale (defaults: the
+    measured extremes); a flat series renders at the bottom of the
+    ramp.
+    """
+    measured = [value for value in values if value is not None]
+    if not measured:
+        return " " * len(values)
+    floor = min(measured) if lo is None else lo
+    ceiling = max(measured) if hi is None else hi
+    span = ceiling - floor
+    cells: list[str] = []
+    for value in values:
+        if value is None:
+            cells.append(" ")
+            continue
+        if span <= 0:
+            cells.append(SPARK_RAMP[0])
+            continue
+        position = (value - floor) / span
+        index = min(int(position * len(SPARK_RAMP)), len(SPARK_RAMP) - 1)
+        cells.append(SPARK_RAMP[max(index, 0)])
+    return "".join(cells)
+
 
 def _scale(value: float, lo: float, hi: float, cells: int,
            log: bool) -> int:

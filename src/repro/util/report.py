@@ -115,6 +115,70 @@ def hot_path_report(profile, top_n: int = 15) -> str:
     return table.render(precision=3)
 
 
+def _timeline_section(nexus: "Nexus") -> list[str]:
+    """Sparkline view of the windowed telemetry, when recorded."""
+    from ..obs.timeline import (
+        KEY_ALL, SERIES_DELIVERED, SERIES_ISSUED, SERIES_LATENCY)
+    from .ascii_chart import sparkline
+
+    timeline = nexus.obs.timeline
+    if timeline is None:
+        return []
+    window_range = timeline.window_range()
+    if window_range is None:
+        return []
+    lo, hi = window_range
+    lines = [f"timeline ({timeline.interval * 1e3:.3g} ms windows, "
+             f"{lo}..{hi}):"]
+    rows: list[tuple[str, _t.Sequence[float | None]]] = [
+        ("issued", timeline.counter_series(SERIES_ISSUED, KEY_ALL)),
+        ("p99 us", timeline.quantile_series(SERIES_LATENCY, KEY_ALL,
+                                            0.99)),
+    ]
+    delivered = timeline.counter_total_series(SERIES_DELIVERED,
+                                              prefix="method=")
+    rows.insert(1, ("delivered", delivered))
+    for label, series in rows:
+        measured = [value for value in series if value is not None]
+        peak = f"peak {max(measured):.4g}" if measured else "no samples"
+        lines.append(f"  {label:>9} |{sparkline(series)}| {peak}")
+    return lines
+
+
+def critical_path_report(paths, top_n: int = 5) -> str:
+    """Top-N end-to-end critical paths of traced RSRs.
+
+    One row per path (slowest first): end-to-end latency, wire hops,
+    the handler it landed in, and the phase owning the largest share —
+    followed by the summed per-phase attribution over the shown paths.
+    """
+    from ..obs.critpath import phase_attribution
+
+    shown = list(paths[:top_n])
+    if not shown:
+        return "(no critical paths to report)"
+    from .records import ResultTable
+
+    table = ResultTable(
+        f"critical paths: top {len(shown)} RSRs by end-to-end latency",
+        ["latency us", "hops", "dominant us"],
+    )
+    for path in shown:
+        phase_shares = path.phase_s
+        dominant = max(phase_shares, key=lambda p: phase_shares[p])
+        table.add(f"rsr {path.rsr} [{path.handler}] {dominant}",
+                  path.latency_s * 1e6, path.wire_hops,
+                  phase_shares[dominant] * 1e6)
+    lines = [table.render(precision=1)]
+    attribution = phase_attribution(shown)
+    total = sum(attribution.values()) or 1.0
+    shares = "  ".join(
+        f"{phase} {share / total:.0%}"
+        for phase, share in attribution.items())
+    lines.append(f"phase attribution over shown paths: {shares}")
+    return "\n".join(lines)
+
+
 def _counters_section(nexus: "Nexus") -> list[str]:
     lines = ["runtime counters:"]
     for key in sorted(nexus.tracer.counters):
@@ -133,6 +197,7 @@ def runtime_report(nexus: "Nexus", *, include_counters: bool = True) -> str:
     lines += _context_section(nexus)
     lines += _transport_section(nexus)
     lines += _observability_section(nexus)
+    lines += _timeline_section(nexus)
     if include_counters:
         lines += _counters_section(nexus)
     return "\n".join(lines)

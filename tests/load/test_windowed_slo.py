@@ -1,0 +1,200 @@
+"""Windowed SLO objectives: violations, n/a windows, recovery time."""
+
+import types
+
+import pytest
+
+from repro.load import (
+    FixedSize,
+    FleetSpec,
+    LoadScenario,
+    OpenLoop,
+    SLO,
+    evaluate,
+    run_scenario,
+)
+from repro.load.slo import evaluate_windows, saturation_onset
+from repro.obs.timeline import KEY_ALL, SERIES_DELIVERED, SERIES_ISSUED, \
+    SERIES_LATENCY, Timeline
+
+INTERVAL = 0.01
+BUDGET_US = 1_000.0
+
+
+def synthetic(p99s, *, fault_log=(), issued=None, delivered=None):
+    """A LoadResult stand-in: one latency sample per non-None window.
+
+    Bucket bounds are chosen so a sample value IS its reported p99
+    (quantiles are bucket upper bounds), keeping the arithmetic exact.
+    """
+    timeline = Timeline(INTERVAL, bounds=(500.0, 1000.0, 2000.0, 4000.0))
+    for window, p99 in enumerate(p99s):
+        timeline.inc(SERIES_ISSUED, KEY_ALL, now=window * INTERVAL,
+                     amount=float((issued or {}).get(window, 1)))
+        if p99 is None:
+            continue  # an empty (n/a) window: issued but nothing landed
+        timeline.observe(SERIES_LATENCY, KEY_ALL,
+                         now=window * INTERVAL, value=p99)
+        timeline.inc(SERIES_DELIVERED, "method=tcp",
+                     now=window * INTERVAL,
+                     amount=float((delivered or {}).get(window, 1)))
+    return types.SimpleNamespace(timeline=timeline,
+                                 fault_log=list(fault_log))
+
+
+def judge(result, *, limit=BUDGET_US, warmup=0):
+    return evaluate_windows(result, SLO(window_p99_latency_us=limit,
+                                        warmup_windows=warmup))
+
+
+class TestViolations:
+    def test_in_budget_series_passes(self):
+        verdict = judge(synthetic([500.0, 500.0, 1000.0]))
+        assert verdict.passed
+        assert verdict.violations == ()
+        assert verdict.worst_p99_us == 1000.0
+
+    def test_over_budget_windows_are_listed(self):
+        verdict = judge(synthetic([500.0, 2000.0, 500.0, 4000.0]))
+        assert not verdict.passed
+        assert verdict.violations == (1, 3)
+        assert verdict.worst_window == 3
+        assert verdict.worst_p99_us == 4000.0
+
+    def test_budget_is_inclusive(self):
+        # Exactly at the limit is inside it (<=), not a violation.
+        verdict = judge(synthetic([BUDGET_US]))
+        assert verdict.passed
+
+    def test_warmup_windows_are_exempt(self):
+        verdict = judge(synthetic([4000.0, 4000.0, 500.0]), warmup=2)
+        assert verdict.passed
+        assert verdict.violations == ()
+
+    def test_summary_names_the_violations(self):
+        verdict = judge(synthetic([500.0, 2000.0]))
+        assert "FAIL" in verdict.summary()
+        assert "worst p99 2000" in verdict.summary()
+
+
+class TestEmptyWindows:
+    def test_empty_windows_are_na_not_violations(self):
+        verdict = judge(synthetic([500.0, None, 500.0]))
+        assert verdict.passed
+        assert verdict.empty_windows == (1,)
+        assert verdict.violations == ()
+
+    def test_empty_windows_are_not_passes_either(self):
+        # An all-empty run has no worst p99 at all — n/a, not 0.0.
+        verdict = judge(synthetic([None, None]))
+        assert verdict.worst_p99_us is None
+        assert verdict.empty_windows == (0, 1)
+
+    def test_missing_windowed_signal_fails_the_gating_objective(self):
+        scenario = LoadScenario(
+            name="gate", duration=0.1,
+            fleets=(FleetSpec("rpc", clients=2,
+                              arrival=OpenLoop(rate=40.0),
+                              sizes=FixedSize(512), route="remote"),))
+        result = run_scenario(scenario)
+        # Budget so far below the floor every window violates it.
+        verdict = evaluate(result, SLO(window_p99_latency_us=0.001))
+        gating = [o for o in verdict.objectives
+                  if o.objective == "window_p99_latency_us"]
+        assert len(gating) == 1 and not gating[0].passed
+        assert not verdict.passed
+
+    def test_detection_only_budget_does_not_gate(self):
+        scenario = LoadScenario(
+            name="detect", duration=0.1,
+            fleets=(FleetSpec("rpc", clients=2,
+                              arrival=OpenLoop(rate=40.0),
+                              sizes=FixedSize(512), route="remote"),))
+        result = run_scenario(scenario)
+        verdict = evaluate(result, SLO(p99_latency_us=1e7,
+                                       window_p99_latency_us=0.001,
+                                       enforce_windows=False))
+        assert verdict.passed  # aggregate budget is the only gate
+        assert verdict.windowed is not None
+        assert verdict.windowed.violations  # ...but detection persists
+        assert not any(o.objective == "window_p99_latency_us"
+                       for o in verdict.objectives)
+
+
+class TestSaturation:
+    def test_terminal_shortfall_is_the_onset(self):
+        assert saturation_onset([10, 10, 10, 10],
+                                [10, 10, 5, 4]) == 2
+
+    def test_transient_dip_recovered_from_does_not_count(self):
+        assert saturation_onset([10, 10, 10], [5, 10, 10]) is None
+
+    def test_idle_windows_never_saturate(self):
+        assert saturation_onset([0, 0], [0, 0]) is None
+
+    def test_onset_window_is_absolute_not_relative(self):
+        verdict = judge(synthetic(
+            [500.0] * 6,
+            issued={w: 10 for w in range(6)},
+            delivered={0: 10, 1: 10, 2: 10, 3: 10, 4: 2, 5: 2}))
+        assert verdict.saturation_onset_window == 4
+
+
+class TestRecovery:
+    FAULTS = [(0.012, "flaky", "A<->B/tcp"),
+              (0.031, "clear_flaky", "A<->B/tcp")]
+
+    def test_recovery_ends_at_first_compliant_window(self):
+        # Clear at 31 ms: window 3 straddles the clear so it is skipped;
+        # window 4 is the first fully post-clear window and complies, so
+        # recovery runs to its end (50 ms) minus the clear time.
+        verdict = judge(synthetic([500.0, 4000.0, 4000.0, 4000.0, 500.0],
+                                  fault_log=self.FAULTS))
+        assert verdict.fault_clear_s == 0.031
+        assert verdict.recovery_time_s == pytest.approx(0.05 - 0.031)
+
+    def test_empty_windows_do_not_count_as_recovered(self):
+        # Window 4 (first fully post-clear) is empty — n/a is not proof
+        # of recovery, so it runs to the end of compliant window 5.
+        verdict = judge(synthetic(
+            [500.0, 4000.0, 4000.0, 4000.0, None, 500.0],
+            fault_log=self.FAULTS))
+        assert verdict.recovery_time_s == pytest.approx(0.06 - 0.031)
+
+    def test_never_recovering_reports_none(self):
+        verdict = judge(synthetic([500.0, 4000.0, 4000.0, 4000.0],
+                                  fault_log=self.FAULTS))
+        assert verdict.recovery_time_s is None
+
+    def test_no_fault_log_means_no_recovery_metric(self):
+        verdict = judge(synthetic([500.0, 4000.0, 500.0]))
+        assert verdict.fault_clear_s is None
+        assert verdict.recovery_time_s is None
+
+    def test_uncleared_fault_reports_no_recovery(self):
+        verdict = judge(synthetic([500.0, 4000.0, 500.0],
+                                  fault_log=[(0.012, "flaky", "x")]))
+        assert verdict.fault_clear_s is None
+        assert verdict.recovery_time_s is None
+
+
+class TestPlumbing:
+    def test_no_windowed_budget_yields_no_verdict(self):
+        result = synthetic([500.0])
+        assert evaluate_windows(result, SLO(p99_latency_us=1.0)) is None
+
+    def test_no_timeline_yields_no_verdict(self):
+        result = types.SimpleNamespace(timeline=None, fault_log=[])
+        assert evaluate_windows(
+            result, SLO(window_p99_latency_us=1.0)) is None
+
+    def test_verdict_serialises_into_the_slo_dict(self):
+        verdict = judge(synthetic([500.0, 2000.0],
+                                  fault_log=self_faults()))
+        payload = verdict.as_dict()
+        assert payload["violations"] == (1,)
+        assert payload["limit_us"] == BUDGET_US
+
+
+def self_faults():
+    return [(0.001, "flaky", "x"), (0.005, "clear_flaky", "x")]

@@ -71,3 +71,36 @@ class TestRenderChart:
         chart = render_chart([mpl, tcp], title="fig6", log_x=True,
                              width=60, height=14)
         assert chart.count("\n") >= 14
+
+
+class TestSparkline:
+    def test_maps_range_onto_the_ramp(self):
+        from repro.util.ascii_chart import SPARK_RAMP, sparkline
+
+        line = sparkline([0.0, 50.0, 100.0])
+        assert len(line) == 3
+        assert line[0] == SPARK_RAMP[0]
+        assert line[-1] == SPARK_RAMP[-1]
+
+    def test_none_renders_blank_not_low(self):
+        from repro.util.ascii_chart import SPARK_RAMP, sparkline
+
+        line = sparkline([1.0, None, 2.0])
+        assert line[1] == " "              # n/a, distinct from measured low
+        assert line[0] == SPARK_RAMP[0]
+
+    def test_flat_series_uses_the_low_glyph(self):
+        from repro.util.ascii_chart import SPARK_RAMP, sparkline
+
+        assert sparkline([3.0, 3.0]) == SPARK_RAMP[0] * 2
+
+    def test_pinned_scale(self):
+        from repro.util.ascii_chart import SPARK_RAMP, sparkline
+
+        line = sparkline([5.0], lo=0.0, hi=10.0)
+        assert abs(SPARK_RAMP.index(line) - len(SPARK_RAMP) // 2) <= 1
+
+    def test_all_none_is_all_blank(self):
+        from repro.util.ascii_chart import sparkline
+
+        assert sparkline([None, None]) == "  "

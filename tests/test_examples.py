@@ -23,6 +23,7 @@ EXPECTED_OUTPUT = {
     "protocol_stacks.py": "lzw+tcp",
     "chaos_climate.py": "TCP recovered",
     "load_capacity.py": "reproduced as capacity",
+    "telemetry_analysis.py": "in-window violations the aggregate missed",
 }
 
 

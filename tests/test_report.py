@@ -63,3 +63,51 @@ def test_report_on_idle_runtime():
     text = runtime_report(bed.nexus)
     assert "(no traffic)" in text
     assert "lonely" in text
+
+
+def test_report_timeline_section_appears_when_enabled():
+    bed = make_sp2(nodes_a=2, nodes_b=0)
+    nexus = bed.nexus
+    nexus.obs.enabled = True
+    nexus.obs.enable_timeline(0.001)
+    a = nexus.context(bed.hosts_a[0], "alpha")
+    b = nexus.context(bed.hosts_a[1], "beta")
+    b.register_handler("h", lambda c, e, buf: None)
+    sp = a.startpoint_to(b.new_endpoint())
+
+    def sender():
+        for _ in range(3):
+            yield from sp.rsr("h", Buffer().put_padding(256))
+
+    def receiver():
+        yield from b.wait(lambda: b.rsrs_dispatched == 3)
+
+    done = nexus.spawn(receiver())
+    nexus.spawn(sender())
+    nexus.run(until=done)
+    text = runtime_report(nexus)
+    assert "timeline (" in text
+    assert "issued" in text and "p99 us" in text
+
+
+def test_report_omits_timeline_section_without_one(busy_nexus):
+    assert "timeline (" not in runtime_report(busy_nexus)
+
+
+def test_critical_path_report_renders_top_paths():
+    from repro.obs.critpath import extract_critical_paths
+    from repro.util.report import critical_path_report
+    from tests.obs.test_spans import run_pingpong
+
+    paths = extract_critical_paths(run_pingpong().nexus.obs)
+    text = critical_path_report(paths, top_n=1)
+    assert "critical paths: top 1" in text
+    assert "rsr" in text
+    assert "phase attribution" in text
+    assert "%" in text
+
+
+def test_critical_path_report_on_empty_paths():
+    from repro.util.report import critical_path_report
+
+    assert "no critical paths" in critical_path_report([])
