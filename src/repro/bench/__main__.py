@@ -196,6 +196,16 @@ def _run_analysis(quick: bool, record: BenchRecord | None) -> None:
     bench = analysis_bench(quick=quick)
     print(bench.render())
     print(bench.chaos_verdict.summary())
+    for label, result in (("chaos", bench.chaos_result),
+                          ("forward", bench.forward_result)):
+        if result.stream is not None:
+            stream = result.stream
+            print(f"stream[{label}]: {stream['spans_emitted']} spans "
+                  f"({stream['spans_sampled_out']} sampled out) in "
+                  f"{stream['shards']} shard(s), "
+                  f"{stream['bytes_written']} bytes, peak "
+                  f"{stream['peak_open_spans']} open spans "
+                  f"-> {stream['directory']}")
     if record is not None:
         record_analysis(record, bench)
     # The analysis workload is mode-independent (one short, tuned run),
@@ -266,6 +276,30 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                              "timeline/graph/critpath documents "
                              "(timeline.json, graph.json, graph.dot, "
                              "critpath.json)")
+    parser.add_argument("--stream-dir", metavar="DIR", default=None,
+                        help="spool the analysis artefact's spans to "
+                             "sharded JSONL under DIR/chaos and "
+                             "DIR/forward and rebuild the analysis "
+                             "documents by folding the shards")
+    parser.add_argument("--sample", metavar="POLICY", default=None,
+                        help="with --stream-dir: sampling policy for the "
+                             "spool (head:N, tail:N, head:N,tail:M, "
+                             "reservoir:K; failure-evidence RSRs are "
+                             "always kept)")
+    parser.add_argument("--sample-seed", type=int, default=0,
+                        metavar="SEED",
+                        help="seed for reservoir sampling (default 0)")
+    parser.add_argument("--mem-ceiling-mb", type=float, default=None,
+                        metavar="MB",
+                        help="run the artefacts under tracemalloc and "
+                             "exit non-zero if peak traced allocation "
+                             "exceeds MB mebibytes")
+    parser.add_argument("--append-history", metavar="PATH", default=None,
+                        help="with --wall: append this run's record to a "
+                             "JSONL history ledger; with --baseline "
+                             "--check, gate wall metrics against "
+                             "variance-aware bands (median ± k·IQR) "
+                             "computed from the existing history")
     parser.add_argument("--list", action="store_true",
                         help="list artefacts and exit")
     args = parser.parse_args(argv)
@@ -280,10 +314,26 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         parser.error("--wall times untraced runs; it cannot be combined "
                      "with --trace/--profile/--flame")
 
-    if args.export_dir is not None:
+    if args.sample is not None and args.stream_dir is None:
+        parser.error("--sample requires --stream-dir")
+    if args.append_history is not None and not args.wall:
+        parser.error("--append-history records wall-tier runs; "
+                     "it requires --wall")
+
+    if args.export_dir is not None or args.stream_dir is not None:
         from . import analysis as _analysis
 
         _analysis.EXPORT_DIR = args.export_dir
+        _analysis.STREAM_DIR = args.stream_dir
+        _analysis.SAMPLE = args.sample
+        _analysis.SAMPLE_SEED = args.sample_seed
+        if args.sample is not None:
+            from ..obs.stream import parse_policy
+
+            try:  # fail fast on a malformed spec, before benchmarking
+                parse_policy(args.sample, args.sample_seed)
+            except ValueError as exc:
+                parser.error(str(exc))
 
     selected = args.artefacts or list(ARTEFACTS)
     for name in selected:
@@ -303,13 +353,18 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
             return 2
 
     record: BenchRecord | None = None
-    if args.record or args.baseline:
+    if args.record or args.baseline or args.append_history:
         label = "quick" if args.quick else "full"
         if args.wall:
             label = f"wall-{label}"
         record = BenchRecord(label, quick=args.quick)
     tracing = bool(args.trace or args.profile or args.flame)
     collected: list = []
+    mem_peak_mb: float | None = None
+    if args.mem_ceiling_mb is not None:
+        import tracemalloc
+
+        tracemalloc.start()
     if args.wall:
         for name in selected:
             print(f"=== {name} {'(quick)' if args.quick else ''} ===")
@@ -335,6 +390,14 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                 record.add(name, "wall_s", elapsed, unit="s",
                            kind=KIND_WALL)
             print(f"[{name}: {elapsed:.1f}s wall]\n")
+    if args.mem_ceiling_mb is not None:
+        import tracemalloc
+
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        mem_peak_mb = peak / (1 << 20)
+        print(f"memory: peak traced {mem_peak_mb:.1f} MiB "
+              f"(ceiling {args.mem_ceiling_mb:.1f} MiB)")
 
     if args.trace:
         _obs.export.write_merged_chrome_trace(args.trace, collected)
@@ -356,14 +419,34 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         record.write(args.record,
                      include_wall=args.record_wall or args.wall)
         print(f"record: {len(record)} metrics -> {args.record}")
+    history_bands = None
+    if args.append_history:
+        from .history import append_history, load_history, wall_bands
+
+        history = load_history(args.append_history)
+        history_bands = wall_bands(history) or None
     if args.baseline:
         assert record is not None and baseline is not None
         comparison = compare_records(
             baseline, record.to_document(include_wall=True),
-            wall_tolerance=args.wall_tolerance if args.wall else None)
+            wall_tolerance=args.wall_tolerance if args.wall else None,
+            wall_bands=history_bands)
+        if history_bands:
+            print(f"wall gate: variance bands from {len(history)} "
+                  f"historical runs ({len(history_bands)} banded metrics)")
         print(comparison.render())
         if args.check and not comparison.ok:
             return 1
+    if args.append_history:
+        assert record is not None
+        append_history(args.append_history,
+                       record.to_document(include_wall=True))
+        print(f"history: run {len(history) + 1} -> {args.append_history}")
+    if (mem_peak_mb is not None
+            and mem_peak_mb > _t.cast(float, args.mem_ceiling_mb)):
+        print(f"error: peak traced memory {mem_peak_mb:.1f} MiB exceeds "
+              f"ceiling {args.mem_ceiling_mb:.1f} MiB", file=sys.stderr)
+        return 1
     return 0
 
 

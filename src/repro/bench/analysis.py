@@ -52,6 +52,7 @@ from ..obs.graph import (
     write_dot,
     write_graph,
 )
+from ..obs.stream import StreamConfig, fold_stream
 from ..obs.timeline import write_timeline
 from ..simnet.faults import FaultPlan
 from ..util.records import ResultTable
@@ -64,6 +65,16 @@ if _t.TYPE_CHECKING:  # pragma: no cover
 #: documents here.  Module-level because artefact drivers share one
 #: ``(quick, record)`` signature.
 EXPORT_DIR: str | None = None
+
+#: When set (``--stream-dir``), both analysis runs spool their spans to
+#: ``<STREAM_DIR>/chaos`` and ``<STREAM_DIR>/forward`` instead of the
+#: in-memory log, and the graph/critpath surfaces are rebuilt by
+#: folding the shards.  With ``SAMPLE`` unset the folded documents are
+#: byte-identical to the in-memory extraction (the CI stream-smoke job
+#: ``cmp``s them); with a sampling policy they are partial by design.
+STREAM_DIR: str | None = None
+SAMPLE: str | None = None
+SAMPLE_SEED: int = 0
 
 #: The flaky window: strong enough to force retries and failovers,
 #: cleared well before the offered window ends so recovery is visible.
@@ -203,25 +214,49 @@ class AnalysisBench:
         return "\n\n".join(sections)
 
 
+def _stream_config(sub: str) -> StreamConfig | None:
+    if STREAM_DIR is None:
+        return None
+    return StreamConfig(directory=os.path.join(STREAM_DIR, sub),
+                        policy=SAMPLE, seed=SAMPLE_SEED)
+
+
 def analysis_bench(quick: bool = False) -> AnalysisBench:
     """Run the whole analysis artefact; exports when EXPORT_DIR is set."""
     chaos = chaos_scenario()
+    chaos_stream = _stream_config("chaos")
     with _obs.collecting():
-        chaos_result = run_scenario(chaos)
+        chaos_result = run_scenario(chaos, stream=chaos_stream)
     chaos_verdict = evaluate(chaos_result, chaos_slo())
 
     forward = forwarding_scenario()
+    forward_stream = _stream_config("forward")
     with _obs.collecting() as runs:
-        forward_result = run_scenario(forward)
+        forward_result = run_scenario(forward, stream=forward_stream)
     forward_obs, forward_nexus = runs[-1]
-    graph = extract_graph(forward_obs, nexus=forward_nexus)
+    if forward_stream is not None:
+        # Streaming leaves the in-memory span log empty: rebuild the
+        # graph and critical paths by folding the spooled shards.
+        fold = fold_stream(forward_stream.directory, top_k=TOP_PATHS)
+        graph = fold.graph
+        paths = fold.paths
+    else:
+        graph = extract_graph(forward_obs, nexus=forward_nexus)
+        paths = extract_critical_paths(forward_obs, top_k=TOP_PATHS)
     partition_costs = evaluate_partition(graph,
                                          _partition_assignment(graph))
-    paths = extract_critical_paths(forward_obs, top_k=TOP_PATHS)
 
     if EXPORT_DIR is not None:
         os.makedirs(EXPORT_DIR, exist_ok=True)
         timeline = chaos_result.timeline
+        if chaos_stream is not None:
+            # Prefer the folded timeline (byte-identical replay when
+            # unsampled) so the export exercises the streamed path end
+            # to end; a sampled spool cannot replay, so fall back to
+            # the live timeline.
+            folded_timeline = fold_stream(chaos_stream.directory).timeline
+            if folded_timeline is not None:
+                timeline = folded_timeline
         assert timeline is not None
         write_timeline(os.path.join(EXPORT_DIR, "timeline.json"), timeline,
                        meta={"scenario": chaos.name, "seed": chaos.seed,

@@ -339,7 +339,8 @@ def _flat_metrics(document: dict[str, object]
 def _diff_one(artefact: str, name: str, base: dict[str, object],
               cur: dict[str, object], sim_tolerance: float,
               count_tolerance: float,
-              wall_tolerance: float | None) -> MetricDiff:
+              wall_tolerance: float | None,
+              wall_band: tuple[float, float] | None = None) -> MetricDiff:
     base_value = _t.cast(float, base["value"])
     cur_value = _t.cast(float, cur["value"])
     kind = _t.cast(str, cur.get("kind", base.get("kind", KIND_SIM)))
@@ -350,7 +351,23 @@ def _diff_one(artefact: str, name: str, base: dict[str, object],
     else:
         rel = (cur_value - base_value) / abs(base_value)
 
-    if kind == KIND_WALL and wall_tolerance is None:
+    if kind == KIND_WALL and wall_band is not None:
+        # Variance-aware gate: the band came from accumulated history
+        # (median ± k·IQR), so it tracks this machine's real spread
+        # instead of a fixed fraction of one noisy baseline sample.
+        lo, hi = wall_band
+        if direction == DIR_LOWER:
+            status = (STATUS_REGRESSED if cur_value > hi
+                      else STATUS_IMPROVED if cur_value < lo
+                      else STATUS_OK)
+        elif direction == DIR_HIGHER:
+            status = (STATUS_REGRESSED if cur_value < lo
+                      else STATUS_IMPROVED if cur_value > hi
+                      else STATUS_OK)
+        else:
+            status = (STATUS_CHANGED if not lo <= cur_value <= hi
+                      else STATUS_OK)
+    elif kind == KIND_WALL and wall_tolerance is None:
         status = STATUS_WALL if rel != 0.0 else STATUS_OK
     else:
         tolerance = (wall_tolerance if kind == KIND_WALL
@@ -374,7 +391,9 @@ def _diff_one(artefact: str, name: str, base: dict[str, object],
 def compare_records(baseline: dict[str, object], current: dict[str, object],
                     *, sim_tolerance: float = SIM_TOLERANCE,
                     count_tolerance: float = COUNT_TOLERANCE,
-                    wall_tolerance: float | None = None
+                    wall_tolerance: float | None = None,
+                    wall_bands: _t.Mapping[tuple[str, str],
+                                           tuple[float, float]] | None = None
                     ) -> ComparisonResult:
     """Diff ``current`` against ``baseline`` with per-kind tolerances.
 
@@ -396,7 +415,11 @@ def compare_records(baseline: dict[str, object], current: dict[str, object],
       skipped with a warning (so subset runs stay useful).  Wall metrics
       missing from the current record never gate, even with
       ``wall_tolerance`` set (a non-wall run vs a wall baseline is a
-      subset, not a regression).
+      subset, not a regression);
+    * ``wall_bands`` (from :func:`repro.bench.history.wall_bands`) maps
+      ``(artefact, metric)`` to an absolute ``(lo, hi)`` acceptance
+      band; a banded wall metric gates against its band and ignores
+      ``wall_tolerance`` — unbanded wall metrics keep the flat gate.
     """
     warnings: list[str] = []
     base_env = _t.cast(dict, baseline.get("environment", {}))
@@ -439,9 +462,10 @@ def compare_records(baseline: dict[str, object], current: dict[str, object],
                     direction=_t.cast(str, base["direction"]),
                     rel_change=None, status=STATUS_MISSING))
         else:
-            diffs.append(_diff_one(artefact, name, base, cur,
-                                   sim_tolerance, count_tolerance,
-                                   wall_tolerance))
+            diffs.append(_diff_one(
+                artefact, name, base, cur, sim_tolerance, count_tolerance,
+                wall_tolerance,
+                wall_bands.get(key) if wall_bands else None))
     return ComparisonResult(diffs=diffs, warnings=warnings)
 
 

@@ -226,6 +226,11 @@ class EnquiryReport:
     #: Analysis-layer summary (communication graph, critical paths);
     #: built on request via ``report(nexus, analysis=True)``.
     analysis: dict[str, object] | None = None
+    #: What observing itself cost: span/RSR counters, capacity drops,
+    #: peak span-log (or open-span, when streaming) occupancy, and the
+    #: spool's lossiness ledger for streamed runs.  Deterministic —
+    #: wall-clock spent in the spool lives on the spool, not here.
+    obs_overhead: dict[str, object] | None = None
 
     def with_slo(self, verdict: dict[str, object]) -> "EnquiryReport":
         """A copy of this report carrying an SLO verdict section."""
@@ -252,6 +257,8 @@ class EnquiryReport:
             out["timeline"] = self.timeline
         if self.analysis is not None:
             out["analysis"] = self.analysis
+        if self.obs_overhead is not None:
+            out["obs_overhead"] = self.obs_overhead
         return out
 
 
@@ -374,12 +381,16 @@ def _build_analysis_report(nexus: "Nexus", *,
     obs = nexus.obs
     if not obs.enabled or not obs.spans:
         return None
-    graph = extract_graph(obs, nexus=nexus)
+    # A span log that hit its capacity cap has holes; extract anyway
+    # but say so loudly — the summary is then a floor, not a census.
+    partial = bool(obs.dropped_spans)
+    graph = extract_graph(obs, nexus=nexus, allow_partial=partial)
     nodes = graph.node_list()
     heavy = sorted(graph.edge_list(),
                    key=lambda e: (-e.bytes, e.src, e.dst, e.method))
-    paths = extract_critical_paths(obs, top_k=top_paths)
-    return {
+    paths = extract_critical_paths(obs, top_k=top_paths,
+                                   allow_partial=partial)
+    out: dict[str, object] = {
         "graph": {
             "nodes": len(nodes),
             "edges": len(graph.edges),
@@ -405,6 +416,18 @@ def _build_analysis_report(nexus: "Nexus", *,
             phase: total * 1e6
             for phase, total in phase_attribution(paths).items()},
     }
+    if partial:
+        out["dropped_spans"] = obs.dropped_spans
+        out["partial"] = True
+    return out
+
+
+def _build_obs_overhead(nexus: "Nexus") -> dict[str, object] | None:
+    """Self-metering: what the observability layer itself did."""
+    obs = nexus.obs
+    if not obs.enabled:
+        return None
+    return obs.overhead()
 
 
 def report(nexus: "Nexus", *, analysis: bool = False) -> EnquiryReport:
@@ -425,6 +448,7 @@ def report(nexus: "Nexus", *, analysis: bool = False) -> EnquiryReport:
         health=_build_health_report(nexus),
         timeline=_build_timeline_report(nexus),
         analysis=_build_analysis_report(nexus) if analysis else None,
+        obs_overhead=_build_obs_overhead(nexus),
     )
 
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
-from ..obs.spans import PHASE_FAILOVER, PHASE_ISSUE, PHASE_PROBE, PHASE_RETRY
+from ..obs.spans import PHASE_FAILOVER, PHASE_PROBE, PHASE_RETRY
 from ..transports.base import Descriptor, WireMessage
 from ..transports.errors import DeliveryError
 from ..transports.multicast import MulticastTransport
@@ -353,7 +353,11 @@ class Startpoint:
                     if span is not None:
                         obs.close_span(span)
                     return
-                self._close_failed_trace(message, obs, str(failure))
+                if message.trace is not None:
+                    # Unlike a genuine drop, a failed attempt must not
+                    # close the issue span or count rsr_dropped — the
+                    # RSR lives on via retry or failover.
+                    message.trace.abandon(str(failure))
                 if span is not None:
                     if span.attrs is None:
                         span.attrs = {}
@@ -406,27 +410,6 @@ class Startpoint:
         return DeliveryError(
             f"{comm.method} send of {message.handler!r} timed out "
             f"after {timeout}s")
-
-    @staticmethod
-    def _close_failed_trace(message: WireMessage, obs, reason: str) -> None:
-        """Close a failed attempt's open transport span (if tracing).
-
-        Unlike a genuine drop, a failed attempt must not close the issue
-        span or count ``rsr_dropped`` — the RSR lives on via retry or
-        failover.
-        """
-        trace = message.trace
-        if trace is None:
-            return
-        span = trace.current
-        if span is not None and span.end is None \
-                and span.phase != PHASE_ISSUE:
-            if span.attrs is None:
-                span.attrs = {}
-            span.attrs["failed"] = True
-            span.attrs["error"] = reason
-            obs.close_span(span)
-        trace.current = None
 
     def _common_multicast_group(self) -> str | None:
         """If every link has selected the mcast method with one shared

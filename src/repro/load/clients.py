@@ -27,6 +27,7 @@ from ..core.buffers import Buffer
 from ..core.enquiry import EnquiryReport, report as enquiry_report
 from ..core.errors import NexusError
 from ..obs.metrics import Histogram, LATENCY_BUCKETS_US
+from ..obs.stream import SpanSpool, StreamConfig
 from ..obs.timeline import Timeline
 from ..testbeds import make_sp2
 from .arrivals import ClosedLoop, OpenLoop
@@ -83,6 +84,9 @@ class LoadResult:
     #: ``(sim_time, action, detail)`` fault transitions that fired
     #: during the run (empty without chaos).
     fault_log: tuple[tuple[float, str, str], ...] = ()
+    #: Spool summary when the run streamed its spans to disk (see
+    #: :class:`repro.obs.stream.SpanSpool.summary`), else ``None``.
+    stream: dict[str, object] | None = None
 
     # -- aggregates ----------------------------------------------------------
 
@@ -197,8 +201,15 @@ def _merge_latency(nexus: "Nexus") -> tuple[Histogram, dict[str, Histogram]]:
     return merged, by_method
 
 
-def run_scenario(scenario: LoadScenario) -> LoadResult:
-    """Execute one scenario; deterministic for a given scenario value."""
+def run_scenario(scenario: LoadScenario, *,
+                 stream: StreamConfig | None = None) -> LoadResult:
+    """Execute one scenario; deterministic for a given scenario value.
+
+    With ``stream``, completed spans spool to sharded JSONL in
+    ``stream.directory`` instead of accumulating in memory (see
+    :mod:`repro.obs.stream`); the spool is finalized — manifest written,
+    open spans flushed — before this returns.
+    """
     bed = make_sp2(
         nodes_a=scenario.client_hosts + scenario.local_servers,
         nodes_b=scenario.remote_servers,
@@ -208,6 +219,8 @@ def run_scenario(scenario: LoadScenario) -> LoadResult:
     )
     nexus = bed.nexus
     sim = bed.sim
+    spool = SpanSpool(stream).attach(nexus.obs) if stream is not None \
+        else None
     timeline = nexus.obs.enable_timeline(
         scenario.duration / scenario.timeline_windows)
 
@@ -423,6 +436,11 @@ def run_scenario(scenario: LoadScenario) -> LoadResult:
 
     nexus.run_until(controller_proc, *server_procs)
 
+    if spool is not None:
+        spool.finalize(
+            contexts={ctx.id: (ctx.name, ctx.host.name)
+                      for ctx in nexus.contexts.values()},
+            meta={"scenario": scenario.name, "seed": scenario.seed})
     merged, by_method = _merge_latency(nexus)
     snapshot = enquiry_report(nexus)
     return LoadResult(
@@ -442,6 +460,7 @@ def run_scenario(scenario: LoadScenario) -> LoadResult:
         sim_events=sim.events_processed,
         timeline=timeline,
         fault_log=tuple(fault_plan.log) if fault_plan is not None else (),
+        stream=spool.summary() if spool is not None else None,
     )
 
 

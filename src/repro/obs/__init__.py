@@ -39,11 +39,13 @@ from . import export  # noqa: F401  (re-exported submodule)
 from . import perf  # noqa: F401  (re-exported submodule)
 from .critpath import (
     CriticalPath,
+    CritpathBuilder,
     extract_critical_paths,
     phase_attribution,
 )
 from .graph import (
     CommGraph,
+    GraphBuilder,
     dot_graph,
     evaluate_partition,
     extract_graph,
@@ -63,6 +65,16 @@ from .spans import (
     MessageTrace,
     Observability,
     Span,
+    TraceIncompleteError,
+)
+from .stream import (
+    SpanSpool,
+    StreamConfig,
+    StreamFold,
+    fold_stream,
+    iter_records,
+    parse_policy,
+    read_manifest,
 )
 from .timeline import Timeline, timeline_document
 
@@ -144,7 +156,9 @@ __all__ = [
     "CommGraph",
     "Counter",
     "CriticalPath",
+    "CritpathBuilder",
     "Gauge",
+    "GraphBuilder",
     "Histogram",
     "LATENCY_BUCKETS_US",
     "MessageTrace",
@@ -154,7 +168,11 @@ __all__ = [
     "PHASES",
     "PerfProfile",
     "Span",
+    "SpanSpool",
+    "StreamConfig",
+    "StreamFold",
     "Timeline",
+    "TraceIncompleteError",
     "collecting",
     "default_observe",
     "dot_graph",
@@ -162,7 +180,11 @@ __all__ = [
     "export",
     "extract_critical_paths",
     "extract_graph",
+    "fold_stream",
+    "iter_records",
     "note_runtime",
+    "parse_policy",
+    "read_manifest",
     "observe_by_default",
     "phase_attribution",
     "timeline_document",

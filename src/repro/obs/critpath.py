@@ -24,10 +24,11 @@ byte-deterministic across identical runs.
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import json
 import typing as _t
 
-from .spans import PHASE_WIRE, Observability, Span
+from .spans import PHASE_WIRE, Observability, Span, TraceIncompleteError
 
 CRITPATH_SCHEMA = "repro.obs.critpath"
 CRITPATH_SCHEMA_VERSION = 1
@@ -70,14 +71,107 @@ class CriticalPath:
         return sum(1 for step in self.steps if step.phase == PHASE_WIRE)
 
 
+class CritpathBuilder:
+    """Incremental critical-path fold over per-RSR span groups.
+
+    Holds a bounded working set: one pending path per folded RSR (or a
+    ``top_k``-sized heap when a cap is given) plus a per-context minimum
+    span id, which canonicalises dense ranks — for an id-ordered span
+    log, ordering contexts by their smallest span id reproduces the
+    first-appearance order :func:`extract_critical_paths` uses, so the
+    folded paths are identical to the in-memory extraction.
+    """
+
+    def __init__(self, *, top_k: int | None = None) -> None:
+        self.top_k = top_k
+        self._ctx_min: dict[int, int] = {}
+        # Entries (latency_s, -rsr, payload); rsr ids are unique so the
+        # payload never takes part in heap comparisons.
+        self._paths: list[tuple] = []
+
+    def note_span(self, span: Span) -> None:
+        """Track ``span``'s context for rank canonicalisation (called
+        for every span, including ones whose RSR is folded later)."""
+        cur = self._ctx_min.get(span.ctx)
+        if cur is None or span.id < cur:
+            self._ctx_min[span.ctx] = span.id
+
+    def add_rsr(self, rsr: int, spans: _t.Sequence[Span]) -> None:
+        """Fold one RSR's complete span group."""
+        for span in spans:
+            self.note_span(span)
+        by_id = {span.id: span for span in spans}
+        finished = [span for span in spans if span.end is not None]
+        if not finished:
+            return
+        leaf = max(finished, key=lambda span: (span.end, span.id))
+        chain: list[Span] = []
+        cursor: Span | None = leaf
+        while cursor is not None:
+            chain.append(cursor)
+            cursor = (by_id.get(cursor.parent)
+                      if cursor.parent is not None else None)
+        chain.reverse()
+        steps: list[tuple[str, str, int, float, float]] = []
+        for index, span in enumerate(chain):
+            if index + 1 < len(chain):
+                share = chain[index + 1].start - span.start
+            else:
+                share = _t.cast(float, span.end) - span.start
+            steps.append((span.phase, span.lane, span.ctx,
+                          span.start, share))
+        root = chain[0]
+        handler = ""
+        if root.attrs is not None:
+            handler = str(root.attrs.get("handler", ""))
+        dropped = bool(leaf.attrs and leaf.attrs.get("dropped"))
+        latency = _t.cast(float, leaf.end) - root.start
+        entry = (latency, -rsr, (rsr, handler, dropped, tuple(steps)))
+        if self.top_k is None:
+            self._paths.append(entry)
+        else:
+            heapq.heappush(self._paths, entry)
+            if len(self._paths) > self.top_k:
+                heapq.heappop(self._paths)
+
+    def finish(self) -> list[CriticalPath]:
+        """Materialise the folded paths, slowest first."""
+        order = sorted(self._ctx_min, key=lambda ctx: self._ctx_min[ctx])
+        ranks = {ctx: rank for rank, ctx in enumerate(order)}
+        paths = []
+        for latency, _neg_rsr, (rsr, handler, dropped,
+                                raw_steps) in self._paths:
+            steps = tuple(
+                PathStep(phase=phase, lane=lane, rank=ranks[ctx],
+                         start_s=start_s, share_s=share_s)
+                for phase, lane, ctx, start_s, share_s in raw_steps)
+            paths.append(CriticalPath(
+                rsr=rsr, handler=handler, latency_s=latency,
+                dropped=dropped, steps=steps))
+        paths.sort(key=lambda path: (-path.latency_s, path.rsr))
+        return paths
+
+
 def extract_critical_paths(source: "Observability | _t.Sequence[Span]", *,
-                           top_k: int | None = None) -> list[CriticalPath]:
+                           top_k: int | None = None,
+                           allow_partial: bool = False
+                           ) -> list[CriticalPath]:
     """Critical paths of every traced RSR, slowest first.
 
     ``top_k`` keeps only the K slowest.  RSRs with no finished span
     (nothing ever closed) are skipped; a path ending at a dropped
-    message is kept and flagged ``dropped``.
+    message is kept and flagged ``dropped``.  A source that recorded
+    capacity drops has holes in its parent links, so by default
+    extraction raises :class:`TraceIncompleteError` (override with
+    ``allow_partial=True``).
     """
+    dropped_spans = (source.dropped_spans
+                     if isinstance(source, Observability) else 0)
+    if dropped_spans and not allow_partial:
+        raise TraceIncompleteError(
+            f"span log dropped {dropped_spans} spans at capacity; "
+            f"critical paths would have broken chains (pass "
+            f"allow_partial=True to extract anyway)")
     spans = source.spans if isinstance(source, Observability) else source
     ctx_rank: dict[int, int] = {}
     for span in spans:
@@ -180,6 +274,7 @@ __all__ = [
     "CRITPATH_SCHEMA",
     "CRITPATH_SCHEMA_VERSION",
     "CriticalPath",
+    "CritpathBuilder",
     "PathStep",
     "critpath_document",
     "dumps_critpaths",

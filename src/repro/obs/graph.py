@@ -35,7 +35,13 @@ import dataclasses
 import json
 import typing as _t
 
-from .spans import PHASE_POLL_DETECT, PHASE_WIRE, Observability, Span
+from .spans import (
+    PHASE_POLL_DETECT,
+    PHASE_WIRE,
+    Observability,
+    Span,
+    TraceIncompleteError,
+)
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from ..core.runtime import Nexus
@@ -87,6 +93,10 @@ class CommGraph:
     def __init__(self) -> None:
         self.nodes: dict[int, GraphNode] = {}
         self.edges: dict[tuple[int, int, str], GraphEdge] = {}
+        #: Spans the source log discarded at capacity; nonzero means the
+        #: graph was extracted with ``allow_partial=True`` and may be
+        #: missing edges (surfaced in the exported document).
+        self.dropped_spans = 0
 
     def edge_list(self) -> list[GraphEdge]:
         """Edges in deterministic (src, dst, method) order."""
@@ -109,10 +119,11 @@ class CommGraph:
 
 
 def _delivery_edges(spans: _t.Sequence[Span]
-                    ) -> _t.Iterator[tuple[int, int, str, int, float,
+                    ) -> _t.Iterator[tuple[int, int, int, str, int, float,
                                            float, bool]]:
-    """Yield (src_ctx, dst_ctx, method, nbytes, wire_s, detect_s,
-    delivered) per wire span that represents a point-to-point transit."""
+    """Yield (wire_span_id, src_ctx, dst_ctx, method, nbytes, wire_s,
+    detect_s, delivered) per wire span representing a point-to-point
+    transit."""
     by_id: dict[int, Span] = {}
     children: dict[int, list[Span]] = {}
     for span in spans:
@@ -134,62 +145,131 @@ def _delivery_edges(spans: _t.Sequence[Span]
         if span.attrs is not None:
             nbytes = int(_t.cast(int, span.attrs.get("nbytes", 0)))
         if not delivery:
-            yield src_ctx, -1, span.lane, nbytes, 0.0, 0.0, False
+            yield span.id, src_ctx, -1, span.lane, nbytes, 0.0, 0.0, False
             continue
         first = delivery[0]
         detect_s = 0.0
         if first.phase == PHASE_POLL_DETECT and first.duration is not None:
             detect_s = first.duration
-        yield (src_ctx, first.ctx, span.lane, nbytes,
+        yield (span.id, src_ctx, first.ctx, span.lane, nbytes,
                span.duration or 0.0, detect_s, True)
 
 
+class GraphBuilder:
+    """Incremental comm-graph fold, one bounded RSR span group at a time.
+
+    Feeding the whole span log through one :meth:`add_rsr` call is
+    exactly :func:`extract_graph`; feeding per-RSR groups in any order
+    produces the identical graph, because every accumulator is
+    order-free: edge sums are integers (wire/detect times accumulate in
+    integer nanoseconds, converted once at :meth:`finish`) and ranks
+    come from a canonical per-context key — the minimum over
+    ``wire_span_id * 2 + role`` (role 0 source, 1 destination) — which
+    reproduces the in-memory first-appearance order for an id-ordered
+    span log.
+    """
+
+    def __init__(self) -> None:
+        # ctx -> canonical rank key (min wire_span_id * 2 + role).
+        self._ctx_key: dict[int, int] = {}
+        # ctx -> [messages_in, messages_out, bytes_in, bytes_out,
+        #         undelivered]
+        self._nodes: dict[int, list] = {}
+        # (src_ctx, dst_ctx, method) -> [messages, bytes, wire_ns,
+        #                                detect_ns]
+        self._edges: dict[tuple[int, int, str], list] = {}
+        self.dropped_spans = 0
+
+    def add_rsr(self, spans: _t.Sequence[Span]) -> None:
+        """Fold one RSR's spans (or any self-contained span group —
+        parent links must not point outside ``spans``)."""
+        if len(spans) > 1:
+            spans = sorted(spans, key=lambda s: s.id)
+        for (wid, src_ctx, dst_ctx, method, nbytes, wire_s, detect_s,
+             delivered) in _delivery_edges(spans):
+            key = wid * 2
+            cur = self._ctx_key.get(src_ctx)
+            if cur is None or key < cur:
+                self._ctx_key[src_ctx] = key
+            src = self._nodes.get(src_ctx)
+            if src is None:
+                src = self._nodes[src_ctx] = [0, 0, 0, 0, 0]
+            if not delivered:
+                src[4] += 1
+                continue
+            key = wid * 2 + 1
+            cur = self._ctx_key.get(dst_ctx)
+            if cur is None or key < cur:
+                self._ctx_key[dst_ctx] = key
+            dst = self._nodes.get(dst_ctx)
+            if dst is None:
+                dst = self._nodes[dst_ctx] = [0, 0, 0, 0, 0]
+            edge = self._edges.get((src_ctx, dst_ctx, method))
+            if edge is None:
+                edge = self._edges[(src_ctx, dst_ctx, method)] = [0, 0, 0, 0]
+            edge[0] += 1
+            edge[1] += nbytes
+            edge[2] += int(round(wire_s * 1e9))
+            edge[3] += int(round(detect_s * 1e9))
+            src[1] += 1
+            src[3] += nbytes
+            dst[0] += 1
+            dst[2] += nbytes
+
+    def finish(self, *, names: _t.Mapping[int, tuple[str, str]] | None = None
+               ) -> CommGraph:
+        """Materialise the folded graph with dense canonical ranks."""
+        graph = CommGraph()
+        graph.dropped_spans = self.dropped_spans
+        names = names or {}
+        order = sorted(self._ctx_key, key=lambda ctx: self._ctx_key[ctx])
+        ranks: dict[int, int] = {}
+        for rank, ctx in enumerate(order):
+            ranks[ctx] = rank
+            component, host = names.get(ctx, (f"ctx{rank}", "?"))
+            m_in, m_out, b_in, b_out, undelivered = self._nodes[ctx]
+            graph.nodes[rank] = GraphNode(
+                rank=rank, component=component, host=host,
+                messages_in=m_in, messages_out=m_out,
+                bytes_in=b_in, bytes_out=b_out, undelivered=undelivered)
+        for (src_ctx, dst_ctx, method), agg in self._edges.items():
+            key = (ranks[src_ctx], ranks[dst_ctx], method)
+            graph.edges[key] = GraphEdge(
+                src=key[0], dst=key[1], method=method,
+                messages=agg[0], bytes=agg[1],
+                wire_s=agg[2] / 1e9, detect_s=agg[3] / 1e9)
+        return graph
+
+
 def extract_graph(source: "Observability | _t.Sequence[Span]", *,
-                  nexus: "Nexus | None" = None) -> CommGraph:
+                  nexus: "Nexus | None" = None,
+                  allow_partial: bool = False) -> CommGraph:
     """Extract the communication graph from a span log.
 
     ``source`` is an :class:`Observability` or a raw span sequence;
     passing ``nexus`` labels nodes with context/host names (otherwise
-    components render as ``ctx<rank>`` / host ``?``).
+    components render as ``ctx<rank>`` / host ``?``).  A source that
+    recorded capacity drops has holes in its parent links, so by
+    default extraction raises :class:`TraceIncompleteError`; with
+    ``allow_partial=True`` the graph is built anyway and carries the
+    drop count in :attr:`CommGraph.dropped_spans`.
     """
     spans = source.spans if isinstance(source, Observability) else source
+    dropped = (source.dropped_spans
+               if isinstance(source, Observability) else 0)
+    if dropped and not allow_partial:
+        raise TraceIncompleteError(
+            f"span log dropped {dropped} spans at capacity; the graph "
+            f"would have missing edges (pass allow_partial=True to "
+            f"build it anyway, annotated)")
     names: dict[int, tuple[str, str]] = {}
     if nexus is not None:
         names = {context.id: (context.name, context.host.name)
                  for context in nexus.contexts.values()}
-    graph = CommGraph()
-    ranks: dict[int, int] = {}
-
-    def node_for(ctx: int) -> GraphNode:
-        rank = ranks.get(ctx)
-        if rank is None:
-            rank = ranks[ctx] = len(ranks)
-            component, host = names.get(ctx, (f"ctx{rank}", "?"))
-            graph.nodes[rank] = GraphNode(rank=rank, component=component,
-                                          host=host)
-        return graph.nodes[rank]
-
-    for (src_ctx, dst_ctx, method, nbytes, wire_s, detect_s,
-         delivered) in _delivery_edges(spans):
-        src = node_for(src_ctx)
-        if not delivered:
-            src.undelivered += 1
-            continue
-        dst = node_for(dst_ctx)
-        key = (src.rank, dst.rank, method)
-        edge = graph.edges.get(key)
-        if edge is None:
-            edge = graph.edges[key] = GraphEdge(
-                src=src.rank, dst=dst.rank, method=method)
-        edge.messages += 1
-        edge.bytes += nbytes
-        edge.wire_s += wire_s
-        edge.detect_s += detect_s
-        src.messages_out += 1
-        src.bytes_out += nbytes
-        dst.messages_in += 1
-        dst.bytes_in += nbytes
-    return graph
+    builder = GraphBuilder()
+    builder.add_rsr(spans)
+    builder.dropped_spans = dropped
+    return builder.finish(names=names)
 
 
 # -- partition cost -----------------------------------------------------------
@@ -234,7 +314,7 @@ def graph_document(graph: CommGraph, *,
                    meta: _t.Mapping[str, object] | None = None
                    ) -> dict[str, object]:
     """The graph as a JSON-ready, deterministic document."""
-    return {
+    document: dict[str, object] = {
         "schema": GRAPH_SCHEMA,
         "schema_version": GRAPH_SCHEMA_VERSION,
         "nodes": [dataclasses.asdict(node) for node in graph.node_list()],
@@ -243,6 +323,10 @@ def graph_document(graph: CommGraph, *,
         "total_bytes": graph.total_bytes,
         "meta": dict(meta) if meta else {},
     }
+    if graph.dropped_spans:
+        # Loud annotation: this graph was built from a lossy span log.
+        document["dropped_spans"] = graph.dropped_spans
+    return document
 
 
 def dumps_graph(graph: CommGraph, *,
@@ -299,6 +383,7 @@ __all__ = [
     "GRAPH_SCHEMA",
     "GRAPH_SCHEMA_VERSION",
     "CommGraph",
+    "GraphBuilder",
     "GraphEdge",
     "GraphNode",
     "dot_graph",

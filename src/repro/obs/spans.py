@@ -74,6 +74,17 @@ PHASES: tuple[str, ...] = (
 NEXUS_LANE = "nexus"
 
 
+class TraceIncompleteError(RuntimeError):
+    """An analysis was asked to trust a span log that recorded drops.
+
+    Graph and critical-path extraction walk parent links; a log that
+    discarded spans at capacity has holes in those chains, so the
+    builders refuse by default instead of emitting silently wrong
+    edges.  Pass ``allow_partial=True`` to proceed anyway — the
+    resulting documents are then annotated with the drop count.
+    """
+
+
 @dataclasses.dataclass(slots=True)
 class Span:
     """One traced interval of one RSR's lifecycle."""
@@ -154,6 +165,8 @@ class MessageTrace:
             parent=parent.id if parent is not None else None, **attrs)
         if span is not None:
             child.current = span
+        if self.obs._sink is not None:
+            self.obs._chain_begin(self.rsr)
         return child
 
     def drop(self, ctx: int = -1) -> None:
@@ -171,6 +184,41 @@ class MessageTrace:
             timeline.inc(SERIES_DROPPED, f"method={self.lane}",
                          obs.sim.now)
         self.current = None
+        sink = obs._sink
+        if sink is not None:
+            sink.record_drop_event(self.rsr, obs.sim.now, self.lane)
+            obs._chain_end(self.rsr)
+
+    def abandon(self, reason: str) -> None:
+        """Terminate the trace of one failed send attempt.
+
+        The issue span stays open (a retry/failover will attach a fresh
+        chain to it); only the attempt's open span is closed and marked
+        failed, and the attempt's chain is retired from the streaming
+        ledger so the RSR can still resolve.
+        """
+        obs = self.obs
+        span = self.current
+        if (span is not None and span.end is None
+                and span.phase != PHASE_ISSUE):
+            if span.attrs is None:
+                span.attrs = {}
+            span.attrs["failed"] = True
+            span.attrs["error"] = reason
+            obs.close_span(span)
+        self.current = None
+        if obs._sink is not None:
+            obs._chain_end(self.rsr)
+
+    def retire(self) -> None:
+        """Close a fan-out parent chain once its forks are launched."""
+        obs = self.obs
+        span = self.current
+        if span is not None and span.end is None:
+            obs.close_span(span)
+        self.current = None
+        if obs._sink is not None:
+            obs._chain_end(self.rsr)
 
     def finish(self, now: float, *, threaded: bool = False) -> None:
         """Close the final span and record end-to-end latency metrics."""
@@ -203,6 +251,11 @@ class MessageTrace:
                              f"rank={timeline.rank_of(span.ctx)}", now)
         if self.hops:
             obs._counter_handle("rsr_forwarded", lane).inc()
+        sink = obs._sink
+        if sink is not None:
+            sink.record_delivery(self.rsr, now, lane, latency_us,
+                                 span.ctx if span is not None else None)
+            obs._chain_end(self.rsr)
 
 
 class Observability:
@@ -225,9 +278,24 @@ class Observability:
         self.dropped_spans = 0
         self.rsrs_started = 0
         self.rsrs_finished = 0
+        #: High-water mark of the span buffer (``spans`` list in-memory,
+        #: open-span registry when a streaming sink is attached).
+        self.peak_spans = 0
         self._max_spans = max_spans
         self._next_span = 1
         self._next_rsr = 1
+        #: Streaming sink (a :class:`repro.obs.stream.SpanSpool`); when
+        #: attached, closed spans spool to disk instead of accumulating
+        #: in ``spans`` and only the open spans stay resident.
+        self._sink = None
+        #: The sink after its spool finalized (detached from the hot
+        #: path, kept so reports can still surface spool stats).
+        self._retired_sink = None
+        self._open: dict[int, Span] = {}
+        #: Per-RSR streaming ledger ``rsr -> [open_spans, open_chains,
+        #: issue_closed]``; an RSR resolves (and its spool staging can be
+        #: flushed) once the issue span closed and both counts hit zero.
+        self._rsr_live: dict[int, list] = {}
         # Instrument-handle caches: the registry's (name, sorted-labels)
         # lookup sorts a label tuple per call, which is measurable when a
         # traced run closes a span per lifecycle phase per message.  The
@@ -270,14 +338,32 @@ class Observability:
                   **attrs: object) -> Span | None:
         if not self.enabled:
             return None
-        if len(self.spans) >= self._max_spans:
-            self.dropped_spans += 1
-            return None
+        if self._sink is None:
+            if len(self.spans) >= self._max_spans:
+                self.dropped_spans += 1
+                return None
+            span = Span(id=self._next_span, rsr=rsr, phase=phase, ctx=ctx,
+                        lane=lane, start=self.sim.now, parent=parent,
+                        attrs=attrs or None)
+            self._next_span += 1
+            self.spans.append(span)
+            if len(self.spans) > self.peak_spans:
+                self.peak_spans = len(self.spans)
+            return span
+        # Streaming: only open spans stay resident, so the capacity cap
+        # (a guard against unbounded in-memory logs) does not apply.
         span = Span(id=self._next_span, rsr=rsr, phase=phase, ctx=ctx,
                     lane=lane, start=self.sim.now, parent=parent,
                     attrs=attrs or None)
         self._next_span += 1
-        self.spans.append(span)
+        self._open[span.id] = span
+        if len(self._open) > self.peak_spans:
+            self.peak_spans = len(self._open)
+        if rsr > 0:
+            state = self._rsr_live.get(rsr)
+            if state is None:
+                state = self._rsr_live[rsr] = [0, 0, False]
+            state[0] += 1
         return span
 
     def close_span(self, span: Span | None) -> None:
@@ -300,6 +386,66 @@ class Observability:
                 tl_key = f"phase={span.phase}/{span.lane}"
                 self._phase_tl_keys[key] = tl_key
             timeline.observe(SERIES_PHASE, tl_key, end, duration_us)
+        sink = self._sink
+        if sink is not None:
+            self._open.pop(span.id, None)
+            sink.record_span(span)
+            rsr = span.rsr
+            if rsr > 0:
+                state = self._rsr_live.get(rsr)
+                if state is not None:
+                    state[0] -= 1
+                    if span.phase == PHASE_ISSUE:
+                        state[2] = True
+                    if state[2] and state[0] == 0 and state[1] == 0:
+                        del self._rsr_live[rsr]
+                        sink.rsr_resolved(rsr)
+
+    # -- streaming sink ------------------------------------------------------
+
+    @property
+    def streaming(self) -> bool:
+        """True if a streaming sink is (or was) attached to this run."""
+        return self._sink is not None or self._retired_sink is not None
+
+    def _chain_begin(self, rsr: int) -> None:
+        """A message chain (send attempt or fork) started for ``rsr``."""
+        state = self._rsr_live.get(rsr)
+        if state is None:
+            state = self._rsr_live[rsr] = [0, 0, False]
+        state[1] += 1
+
+    def _chain_end(self, rsr: int) -> None:
+        """A message chain finished (delivery, drop, abandon, retire)."""
+        state = self._rsr_live.get(rsr)
+        if state is None:
+            return
+        state[1] -= 1
+        if state[2] and state[0] == 0 and state[1] == 0:
+            del self._rsr_live[rsr]
+            self._sink.rsr_resolved(rsr)
+
+    def overhead(self) -> dict[str, object]:
+        """Self-metering summary of what observation itself cost.
+
+        Deterministic counts only — the spool's wall-clock cost lives on
+        the sink (``SpanSpool.wall_s``) so this dict can appear in
+        byte-compared reports.
+        """
+        sink = self._sink if self._sink is not None else self._retired_sink
+        out: dict[str, object] = {
+            "spans_recorded": (sink.spans_emitted if sink is not None
+                               else len(self.spans)),
+            "spans_dropped": self.dropped_spans,
+            "peak_spans": self.peak_spans,
+            "rsrs_started": self.rsrs_started,
+            "rsrs_finished": self.rsrs_finished,
+            "streaming": sink is not None,
+        }
+        if sink is not None:
+            out["spans_sampled_out"] = sink.spans_sampled_out
+            out["shards"] = len(sink.shards)
+        return out
 
     # -- RSR lifecycle entry points ------------------------------------------
 
@@ -319,6 +465,8 @@ class Observability:
         """Give ``message`` its own trace chain rooted at ``issue``."""
         message.trace = MessageTrace(  # type: ignore[attr-defined]
             self, issue.rsr, issue, issue.start)
+        if self._sink is not None:
+            self._chain_begin(issue.rsr)
 
     def note_poll_batch(self, method: str, found: int) -> None:
         """Record how many messages one poll of ``method`` found."""

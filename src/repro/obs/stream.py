@@ -1,0 +1,679 @@
+"""Streaming telemetry: bounded-memory span spooling + incremental fold.
+
+The in-memory span log (:class:`~repro.obs.spans.Observability`) holds
+every span of a run; past ``max_spans`` it drops the rest.  That is fine
+for the bench artefacts but untenable for the ROADMAP's fleet-scale
+scenarios, where the instrumentation must itself be designed like a
+data path.  This module supplies that path:
+
+* :class:`SpanSpool` — a sink attached to an ``Observability`` that
+  spools completed spans to sharded JSONL segments on disk instead of
+  retaining them.  Only the *open* spans stay resident, so peak memory
+  is bounded by in-flight work, not run length.  Shards rotate by
+  record count and bytes, and a ``manifest.json`` records per-shard
+  span-id ranges, record counts, and sha256 checksums plus an explicit
+  lossiness ledger (``spans_opened == spans_emitted + spans_sampled_out
+  + spans_dropped``) replacing the in-memory path's silent drop.
+
+* Seeded **sampling policies** (``head:N``, ``tail:N``,
+  ``head:N,tail:M``, ``reservoir:K`` per lane) decide, whole RSRs at a
+  time, which span groups reach disk.  RSRs that carry failure evidence
+  — retry/failover/probe spans, dropped or failed messages — are
+  *always* kept, so chaos analysis never loses its witnesses.
+
+* :func:`fold_stream` — a single-pass, bounded-working-set fold that
+  rebuilds the analysis documents (timeline / comm graph / critical
+  paths) from the shards.  With sampling off, the folded documents are
+  **byte-identical** to the in-memory extraction: record order in the
+  shards equals live call order, span groups are folded per RSR at its
+  resolution record, and the graph/critpath builders use order-free
+  accumulators with canonical rank keys.
+
+Context ids are process-global counters, so the spool renumbers them
+densely by first emission — identical workloads spool byte-identical
+shards even when other runtimes existed earlier in the process (the
+same reason the graph/timeline exports renumber).  The manifest's
+``contexts`` table is keyed by the dense ids.
+
+Record kinds (one compact sorted-key JSON object per line):
+
+``s``
+    a span, written when it closes (or flushed open-ended at finalize
+    with ``t1: null``): ``{k,id,rsr,ph,ctx,lane,t0,t1,par,attrs}``.
+``d``
+    an end-to-end delivery: ``{k,rsr,t,lane,us,ctx}``.
+``x``
+    a message drop: ``{k,rsr,t,lane}``.
+``r``
+    RSR resolution — every span closed and every send chain retired;
+    the fold releases the RSR's working set here: ``{k,rsr}``.
+
+Everything is keyed off the deterministic sim clock and per-run id
+counters, so identical runs spool byte-identical shard sets — gated in
+CI by ``cmp``.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import hashlib
+import json
+import os
+import random
+import time
+import typing as _t
+
+from .critpath import CriticalPath, CritpathBuilder
+from .graph import CommGraph, GraphBuilder
+from .spans import (
+    NEXUS_LANE,
+    PHASE_FAILOVER,
+    PHASE_ISSUE,
+    PHASE_PROBE,
+    PHASE_RETRY,
+    PHASE_WIRE,
+    Observability,
+    Span,
+)
+from .timeline import (
+    KEY_ALL,
+    SERIES_DELIVERED,
+    SERIES_DROPPED,
+    SERIES_ISSUED,
+    SERIES_LATENCY,
+    SERIES_PHASE,
+    Timeline,
+)
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_SCHEMA = "repro.obs.stream.manifest"
+MANIFEST_SCHEMA_VERSION = 1
+SHARD_PATTERN = "shard-{:05d}.jsonl"
+
+#: Span phases whose presence marks an RSR as failure evidence — such
+#: RSRs bypass every sampling policy.
+FORCED_PHASES = frozenset((PHASE_RETRY, PHASE_FAILOVER, PHASE_PROBE))
+
+_JSON_KW: dict[str, object] = {"sort_keys": True,
+                               "separators": (",", ":")}
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamConfig:
+    """Where and how to spool spans.
+
+    ``policy`` is a sampling spec (see :func:`parse_policy`) or ``None``
+    to keep everything — only the keep-everything configuration carries
+    the byte-parity guarantee for folded documents.
+    """
+
+    directory: str
+    max_records: int = 50_000
+    max_bytes: int = 8 << 20
+    policy: str | None = None
+    seed: int = 0
+
+
+# -- sampling policies --------------------------------------------------------
+
+class _Staged:
+    """One RSR's records awaiting a sampling verdict."""
+
+    __slots__ = ("lines", "spans", "forced", "lane")
+
+    def __init__(self) -> None:
+        #: (encoded line, span id or None) in emission order.
+        self.lines: list[tuple[str, int | None]] = []
+        self.spans = 0
+        self.forced = False
+        #: Transport lane classifying this RSR for per-lane reservoirs
+        #: (first wire span's lane, else first delivery/drop lane).
+        self.lane: str | None = None
+
+
+class _HeadTail:
+    """Keep the first ``head`` and last ``tail`` resolved RSRs."""
+
+    def __init__(self, head: int, tail: int) -> None:
+        self.head = head
+        self.tail = tail
+        self._kept_head = 0
+        self._stash: collections.deque[_Staged] = collections.deque()
+
+    def offer(self, staged: _Staged) -> tuple[str, tuple[_Staged, ...]]:
+        if self._kept_head < self.head:
+            self._kept_head += 1
+            return "keep", ()
+        if self.tail:
+            self._stash.append(staged)
+            if len(self._stash) > self.tail:
+                return "stash", (self._stash.popleft(),)
+            return "stash", ()
+        return "drop", ()
+
+    def drain(self) -> _t.Iterator[_Staged]:
+        while self._stash:
+            yield self._stash.popleft()
+
+
+class _Reservoir:
+    """Per-lane reservoir of ``k`` RSRs (Algorithm R, seeded per lane)."""
+
+    def __init__(self, k: int, seed: int) -> None:
+        self.k = k
+        self.seed = seed
+        # lane -> [offered count, slots]
+        self._lanes: dict[str, list] = {}
+        self._rngs: dict[str, random.Random] = {}
+
+    def offer(self, staged: _Staged) -> tuple[str, tuple[_Staged, ...]]:
+        lane = staged.lane or NEXUS_LANE
+        bucket = self._lanes.get(lane)
+        if bucket is None:
+            bucket = self._lanes[lane] = [0, []]
+            # Seeding from a string hashes via sha512 (stable across
+            # processes), unlike Python's randomised str hash.
+            self._rngs[lane] = random.Random(f"{self.seed}:{lane}")
+        bucket[0] += 1
+        slots: list[_Staged] = bucket[1]
+        if len(slots) < self.k:
+            slots.append(staged)
+            return "stash", ()
+        j = self._rngs[lane].randrange(bucket[0])
+        if j < self.k:
+            evicted = slots[j]
+            slots[j] = staged
+            return "stash", (evicted,)
+        return "drop", ()
+
+    def drain(self) -> _t.Iterator[_Staged]:
+        for lane in sorted(self._lanes):
+            yield from self._lanes[lane][1]
+        self._lanes.clear()
+
+
+def parse_policy(spec: str | None, seed: int = 0):
+    """Parse a sampling spec into a policy object (or ``None``).
+
+    Accepted forms: ``head:N``, ``tail:N``, ``head:N,tail:M``,
+    ``reservoir:K``.  All decisions are made at whole-RSR granularity
+    at resolution time; forced-keep classes bypass the policy entirely.
+    """
+    if spec is None or spec == "":
+        return None
+    if spec.startswith("reservoir:"):
+        k = int(spec.partition(":")[2])
+        if k <= 0:
+            raise ValueError(f"reservoir size must be positive: {spec!r}")
+        return _Reservoir(k, seed)
+    head = tail = None
+    for part in spec.split(","):
+        name, sep, num = part.partition(":")
+        if not sep or name not in ("head", "tail"):
+            raise ValueError(f"unknown sampling policy: {spec!r}")
+        value = int(num)
+        if value < 0:
+            raise ValueError(f"negative sample count: {spec!r}")
+        if name == "head":
+            if head is not None:
+                raise ValueError(f"duplicate head clause: {spec!r}")
+            head = value
+        else:
+            if tail is not None:
+                raise ValueError(f"duplicate tail clause: {spec!r}")
+            tail = value
+    return _HeadTail(head or 0, tail or 0)
+
+
+# -- the spool ----------------------------------------------------------------
+
+def _span_record(span: Span) -> dict[str, object]:
+    return {"k": "s", "id": span.id, "rsr": span.rsr, "ph": span.phase,
+            "ctx": span.ctx, "lane": span.lane, "t0": span.start,
+            "t1": span.end, "par": span.parent, "attrs": span.attrs}
+
+
+def _span_from_record(rec: _t.Mapping[str, object]) -> Span:
+    return Span(id=_t.cast(int, rec["id"]), rsr=_t.cast(int, rec["rsr"]),
+                phase=_t.cast(str, rec["ph"]), ctx=_t.cast(int, rec["ctx"]),
+                lane=_t.cast(str, rec["lane"]),
+                start=_t.cast(float, rec["t0"]),
+                end=_t.cast("float | None", rec["t1"]),
+                parent=_t.cast("int | None", rec["par"]),
+                attrs=_t.cast("dict | None", rec["attrs"]))
+
+
+def _is_forced(span: Span) -> bool:
+    if span.phase in FORCED_PHASES:
+        return True
+    attrs = span.attrs
+    return attrs is not None and ("dropped" in attrs or "failed" in attrs)
+
+
+class SpanSpool:
+    """Spools closed spans to sharded JSONL; the streaming sink.
+
+    Attach to an :class:`Observability` with :meth:`attach` *before*
+    the run starts; call :meth:`finalize` after it ends.  While
+    attached, the tracer keeps no closed spans in memory — record order
+    in the shards equals live call order, which is what makes the
+    timeline fold byte-exact.
+    """
+
+    def __init__(self, config: StreamConfig) -> None:
+        self.config = config
+        self.directory = config.directory
+        os.makedirs(self.directory, exist_ok=True)
+        self._policy = parse_policy(config.policy, config.seed)
+        self.obs: Observability | None = None
+        self.shards: list[dict[str, object]] = []
+        self._file: _t.IO[bytes] | None = None
+        self._shard_name = ""
+        self._sha: "hashlib._Hash | None" = None
+        self._records = 0
+        self._bytes = 0
+        self._spans = 0
+        self._id_min: int | None = None
+        self._id_max: int | None = None
+        self._staged: dict[int, _Staged] = {}
+        # Raw (process-global) context id -> dense spool-local id,
+        # assigned in first-emission order.
+        self._ctx_map: dict[int, int] = {}
+        self.records_written = 0
+        self.bytes_written = 0
+        self.spans_emitted = 0
+        self.spans_sampled_out = 0
+        self.rsrs_resolved = 0
+        self.rsrs_kept = 0
+        self.rsrs_sampled_out = 0
+        self.deliveries = 0
+        self.drops = 0
+        self.peak_staged_rsrs = 0
+        #: Wall-clock seconds spent encoding/spooling (self-metering;
+        #: never written into byte-compared artifacts).
+        self.wall_s = 0.0
+        self.finalized = False
+        self.manifest: dict[str, object] | None = None
+
+    def attach(self, obs: Observability) -> "SpanSpool":
+        """Make this spool ``obs``'s streaming sink."""
+        if obs.spans:
+            raise ValueError(
+                "cannot attach a stream sink to an Observability that "
+                "already holds in-memory spans")
+        if obs._sink is not None:
+            raise ValueError("a streaming sink is already attached")
+        obs._sink = self
+        self.obs = obs
+        return self
+
+    # -- sink callbacks (called by Observability/MessageTrace) ---------------
+
+    def _ctx(self, raw: int) -> int:
+        dense = self._ctx_map.get(raw)
+        if dense is None:
+            dense = self._ctx_map[raw] = len(self._ctx_map)
+        return dense
+
+    def _span_line(self, span: Span) -> str:
+        record = _span_record(span)
+        record["ctx"] = self._ctx(span.ctx)
+        return json.dumps(record, **_JSON_KW)  # type: ignore[arg-type]
+
+    def record_span(self, span: Span) -> None:
+        t0 = time.perf_counter()
+        line = self._span_line(span)
+        self._route(span.rsr, line, span_id=span.id,
+                    forced=_is_forced(span),
+                    lane=span.lane if span.phase == PHASE_WIRE else None)
+        self.wall_s += time.perf_counter() - t0
+
+    def record_delivery(self, rsr: int, now: float, lane: str,
+                        latency_us: float, ctx: int | None) -> None:
+        t0 = time.perf_counter()
+        self.deliveries += 1
+        line = json.dumps(
+            {"k": "d", "rsr": rsr, "t": now, "lane": lane,
+             "us": latency_us,
+             "ctx": self._ctx(ctx) if ctx is not None else None},
+            **_JSON_KW)  # type: ignore[arg-type]
+        self._route(rsr, line, lane=lane)
+        self.wall_s += time.perf_counter() - t0
+
+    def record_drop_event(self, rsr: int, now: float, lane: str) -> None:
+        t0 = time.perf_counter()
+        self.drops += 1
+        line = json.dumps({"k": "x", "rsr": rsr, "t": now, "lane": lane},
+                          **_JSON_KW)  # type: ignore[arg-type]
+        self._route(rsr, line, forced=True, lane=lane)
+        self.wall_s += time.perf_counter() - t0
+
+    def rsr_resolved(self, rsr: int) -> None:
+        t0 = time.perf_counter()
+        self.rsrs_resolved += 1
+        line = json.dumps({"k": "r", "rsr": rsr},
+                          **_JSON_KW)  # type: ignore[arg-type]
+        if self._policy is None:
+            self._write(line)
+            self.rsrs_kept += 1
+            self.wall_s += time.perf_counter() - t0
+            return
+        staged = self._staged.pop(rsr, None)
+        if staged is None:
+            staged = _Staged()
+        staged.lines.append((line, None))
+        if staged.forced:
+            self._flush(staged)
+            self.rsrs_kept += 1
+        else:
+            verdict, evicted = self._policy.offer(staged)
+            if verdict == "keep":
+                self._flush(staged)
+                self.rsrs_kept += 1
+            elif verdict == "drop":
+                self._discard(staged)
+            for victim in evicted:
+                self._discard(victim)
+        self.wall_s += time.perf_counter() - t0
+
+    # -- internals -----------------------------------------------------------
+
+    def _route(self, rsr: int, line: str, *, span_id: int | None = None,
+               forced: bool = False, lane: str | None = None) -> None:
+        if self._policy is None or rsr <= 0:
+            self._write(line, span_id=span_id)
+            return
+        staged = self._staged.get(rsr)
+        if staged is None:
+            staged = self._staged[rsr] = _Staged()
+            if len(self._staged) > self.peak_staged_rsrs:
+                self.peak_staged_rsrs = len(self._staged)
+        staged.lines.append((line, span_id))
+        if span_id is not None:
+            staged.spans += 1
+        if forced:
+            staged.forced = True
+        if lane is not None and staged.lane is None:
+            staged.lane = lane
+
+    def _flush(self, staged: _Staged) -> None:
+        for line, span_id in staged.lines:
+            self._write(line, span_id=span_id)
+
+    def _discard(self, staged: _Staged) -> None:
+        self.spans_sampled_out += staged.spans
+        self.rsrs_sampled_out += 1
+
+    def _open_shard(self) -> None:
+        self._shard_name = SHARD_PATTERN.format(len(self.shards))
+        self._file = open(os.path.join(self.directory, self._shard_name),
+                          "wb")
+        self._sha = hashlib.sha256()
+        self._records = self._bytes = self._spans = 0
+        self._id_min = self._id_max = None
+
+    def _close_shard(self) -> None:
+        if self._file is None:
+            return
+        self._file.close()
+        self._file = None
+        assert self._sha is not None
+        self.shards.append({
+            "name": self._shard_name,
+            "records": self._records,
+            "spans": self._spans,
+            "span_id_min": self._id_min,
+            "span_id_max": self._id_max,
+            "bytes": self._bytes,
+            "sha256": self._sha.hexdigest(),
+        })
+
+    def _write(self, line: str, *, span_id: int | None = None) -> None:
+        if self._file is None:
+            self._open_shard()
+        data = (line + "\n").encode("ascii")
+        assert self._file is not None and self._sha is not None
+        self._file.write(data)
+        self._sha.update(data)
+        self._records += 1
+        self._bytes += len(data)
+        self.bytes_written += len(data)
+        self.records_written += 1
+        if span_id is not None:
+            self._spans += 1
+            self.spans_emitted += 1
+            if self._id_min is None or span_id < self._id_min:
+                self._id_min = span_id
+            if self._id_max is None or span_id > self._id_max:
+                self._id_max = span_id
+        if (self._records >= self.config.max_records
+                or self._bytes >= self.config.max_bytes):
+            self._close_shard()
+
+    # -- finalize ------------------------------------------------------------
+
+    def finalize(self, *,
+                 contexts: _t.Mapping[int, tuple[str, str]] | None = None,
+                 meta: _t.Mapping[str, object] | None = None
+                 ) -> dict[str, object]:
+        """Flush everything still pending and write the manifest.
+
+        Spans still open at the end of the run are emitted open-ended
+        (``t1: null``) in span-id order; RSRs that never resolved are
+        kept wholesale (in-flight evidence is evidence), without an
+        ``r`` record — the fold picks them up at end-of-stream.
+        """
+        if self.finalized:
+            return _t.cast(dict, self.manifest)
+        t0 = time.perf_counter()
+        obs = self.obs
+        if obs is not None:
+            for span in sorted(obs._open.values(), key=lambda s: s.id):
+                line = self._span_line(span)
+                self._route(span.rsr, line, span_id=span.id,
+                            forced=_is_forced(span),
+                            lane=(span.lane if span.phase == PHASE_WIRE
+                                  else None))
+        for rsr in sorted(self._staged):
+            self._flush(self._staged[rsr])
+            self.rsrs_kept += 1
+        self._staged.clear()
+        if self._policy is not None:
+            for staged in self._policy.drain():
+                self._flush(staged)
+                self.rsrs_kept += 1
+        self._close_shard()
+        spans_opened = (obs._next_span - 1 if obs is not None
+                        else self.spans_emitted + self.spans_sampled_out)
+        manifest: dict[str, object] = {
+            "schema": MANIFEST_SCHEMA,
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "policy": self.config.policy,
+            "seed": self.config.seed,
+            "max_records": self.config.max_records,
+            "max_bytes": self.config.max_bytes,
+            "shards": self.shards,
+            "totals": {
+                "records": self.records_written,
+                "spans_opened": spans_opened,
+                "spans_emitted": self.spans_emitted,
+                "spans_sampled_out": self.spans_sampled_out,
+                "spans_dropped": obs.dropped_spans if obs is not None else 0,
+                "rsrs_started": obs.rsrs_started if obs is not None else 0,
+                "rsrs_resolved": self.rsrs_resolved,
+                "rsrs_kept": self.rsrs_kept,
+                "rsrs_sampled_out": self.rsrs_sampled_out,
+                "deliveries": self.deliveries,
+                "drops": self.drops,
+            },
+            "contexts": ({str(self._ctx_map[cid]): list(pair)
+                          for cid, pair in sorted(contexts.items())
+                          if cid in self._ctx_map}
+                         if contexts else None),
+            "timeline": ({"interval_s": obs.timeline.interval,
+                          "bounds": list(obs.timeline.bounds),
+                          "max_windows": obs.timeline.max_windows}
+                         if obs is not None and obs.timeline is not None
+                         else None),
+            "meta": dict(meta) if meta else {},
+        }
+        with open(os.path.join(self.directory, MANIFEST_NAME), "w") as fh:
+            json.dump(manifest, fh, sort_keys=True, indent=1)
+            fh.write("\n")
+        if obs is not None and obs._sink is self:
+            obs._sink = None
+            obs._retired_sink = self
+        self.finalized = True
+        self.manifest = manifest
+        self.wall_s += time.perf_counter() - t0
+        return manifest
+
+    def summary(self) -> dict[str, object]:
+        """Deterministic spool summary (for reports and LoadResult)."""
+        return {
+            "directory": self.directory,
+            "shards": len(self.shards),
+            "records": self.records_written,
+            "bytes_written": self.bytes_written,
+            "peak_open_spans": (self.obs.peak_spans
+                                if self.obs is not None else None),
+            "spans_emitted": self.spans_emitted,
+            "spans_sampled_out": self.spans_sampled_out,
+            "rsrs_kept": self.rsrs_kept,
+            "rsrs_sampled_out": self.rsrs_sampled_out,
+            "policy": self.config.policy,
+        }
+
+
+# -- reading & folding --------------------------------------------------------
+
+def read_manifest(directory: str) -> dict[str, object]:
+    with open(os.path.join(directory, MANIFEST_NAME)) as fh:
+        return _t.cast(dict, json.load(fh))
+
+
+def iter_records(directory: str,
+                 manifest: _t.Mapping[str, object] | None = None
+                 ) -> _t.Iterator[dict[str, object]]:
+    """All records across the shard set, in spooled order."""
+    if manifest is None:
+        manifest = read_manifest(directory)
+    for shard in _t.cast(list, manifest["shards"]):
+        with open(os.path.join(directory, shard["name"])) as fh:
+            for line in fh:
+                yield json.loads(line)
+
+
+@dataclasses.dataclass
+class StreamFold:
+    """The analysis products of one single-pass fold over a stream."""
+
+    manifest: dict[str, object]
+    #: Replayed windowed telemetry — ``None`` when the stream was
+    #: sampled (a partial replay would be silently wrong) or the run
+    #: had no timeline attached.
+    timeline: Timeline | None
+    graph: CommGraph
+    paths: list[CriticalPath]
+    #: RSRs folded at end-of-stream without a resolution record (the
+    #: run ended with them in flight).
+    unresolved_rsrs: int
+
+
+def fold_stream(directory: str, *, top_k: int | None = None) -> StreamFold:
+    """Rebuild timeline/graph/critpath documents from spooled shards.
+
+    Single pass, bounded working set: span groups accumulate per RSR
+    only until that RSR's resolution record releases them into the
+    order-free graph/critpath builders.  With sampling off, the
+    resulting documents are byte-identical to the in-memory path.
+    """
+    manifest = read_manifest(directory)
+    sampled = manifest.get("policy") is not None
+    tl_conf = _t.cast("dict | None", manifest.get("timeline"))
+    timeline = None
+    if tl_conf is not None and not sampled:
+        timeline = Timeline(
+            _t.cast(float, tl_conf["interval_s"]),
+            bounds=_t.cast(list, tl_conf["bounds"]),
+            max_windows=_t.cast(int, tl_conf.get("max_windows",
+                                                 1_000_000)))
+    graph_builder = GraphBuilder()
+    crit_builder = CritpathBuilder(top_k=top_k)
+    pending: dict[int, list[Span]] = {}
+    for rec in iter_records(directory, manifest):
+        kind = rec["k"]
+        if kind == "s":
+            span = _span_from_record(rec)
+            crit_builder.note_span(span)
+            if span.rsr > 0:
+                pending.setdefault(span.rsr, []).append(span)
+            if timeline is not None:
+                if span.end is not None:
+                    timeline.observe(
+                        SERIES_PHASE, f"phase={span.phase}/{span.lane}",
+                        span.end, (span.end - span.start) * 1e6)
+                if span.phase == PHASE_ISSUE:
+                    timeline.inc(SERIES_ISSUED, KEY_ALL, span.start)
+        elif kind == "d":
+            if timeline is not None:
+                lane = _t.cast(str, rec["lane"])
+                now = _t.cast(float, rec["t"])
+                latency_us = _t.cast(float, rec["us"])
+                method_key = f"method={lane}"
+                timeline.observe(SERIES_LATENCY, method_key, now,
+                                 latency_us)
+                timeline.observe(SERIES_LATENCY, KEY_ALL, now, latency_us)
+                timeline.inc(SERIES_DELIVERED, method_key, now)
+                ctx = rec["ctx"]
+                if ctx is not None:
+                    timeline.inc(
+                        SERIES_DELIVERED,
+                        f"rank={timeline.rank_of(_t.cast(int, ctx))}", now)
+        elif kind == "x":
+            if timeline is not None:
+                timeline.inc(SERIES_DROPPED, f"method={rec['lane']}",
+                             _t.cast(float, rec["t"]))
+        elif kind == "r":
+            spans = pending.pop(_t.cast(int, rec["rsr"]), None)
+            if spans:
+                graph_builder.add_rsr(spans)
+                crit_builder.add_rsr(_t.cast(int, rec["rsr"]), spans)
+        else:  # pragma: no cover - forward compatibility
+            raise ValueError(f"unknown stream record kind: {kind!r}")
+    unresolved = sorted(pending)
+    for rsr in unresolved:
+        spans = pending.pop(rsr)
+        graph_builder.add_rsr(spans)
+        crit_builder.add_rsr(rsr, spans)
+    totals = _t.cast(dict, manifest["totals"])
+    graph_builder.dropped_spans = int(totals.get("spans_dropped", 0))
+    raw_names = _t.cast("dict | None", manifest.get("contexts"))
+    names = None
+    if raw_names:
+        names = {int(cid): (pair[0], pair[1])
+                 for cid, pair in raw_names.items()}
+    return StreamFold(
+        manifest=manifest,
+        timeline=timeline,
+        graph=graph_builder.finish(names=names),
+        paths=crit_builder.finish(),
+        unresolved_rsrs=len(unresolved),
+    )
+
+
+__all__ = [
+    "FORCED_PHASES",
+    "MANIFEST_NAME",
+    "MANIFEST_SCHEMA",
+    "MANIFEST_SCHEMA_VERSION",
+    "SHARD_PATTERN",
+    "SpanSpool",
+    "StreamConfig",
+    "StreamFold",
+    "fold_stream",
+    "iter_records",
+    "parse_policy",
+    "read_manifest",
+]

@@ -35,6 +35,15 @@ counts sum to their sample counts, graph edges reference exported
 nodes and per-node totals match the edge list, and every critical
 path's step shares sum to its end-to-end latency.
 
+**Stream spools** — the sharded JSONL segments and ``manifest.json``
+written by the streaming telemetry spool (:mod:`repro.obs.stream`):
+the manifest's lossiness ledger must balance (``spans_opened ==
+spans_emitted + spans_sampled_out + spans_dropped``), per-shard record
+and span counts must sum to the totals, and — when the manifest sits
+next to its shards — every shard file is cross-checked for existence,
+byte length, sha256, and record count.  A shard file itself validates
+line by line against the four record kinds.
+
 Used by the CI smoke jobs and the test suite; exits non-zero with a
 reason on the first violation.
 """
@@ -315,6 +324,122 @@ def validate_critpath_document(document: _t.Mapping[str, object]
             "steps": sum(len(_t.cast(dict, p)["steps"]) for p in paths)}
 
 
+#: Streamed-telemetry record kinds to their required fields (see
+#: :mod:`repro.obs.stream` for the record format).
+SHARD_RECORD_FIELDS: dict[str, tuple[str, ...]] = {
+    "s": ("id", "rsr", "ph", "ctx", "lane", "t0", "par", "attrs"),
+    "d": ("rsr", "t", "lane", "us", "ctx"),
+    "x": ("rsr", "t", "lane"),
+    "r": ("rsr",),
+}
+
+
+def validate_manifest_document(document: _t.Mapping[str, object], *,
+                               directory: str | None = None
+                               ) -> dict[str, object]:
+    """Structural + invariant checks over a stream-spool manifest.
+
+    With ``directory`` (inferred from the manifest's path by
+    :func:`validate_file`) every listed shard is cross-checked against
+    the file on disk: existence, byte length, sha256, and record count.
+    """
+    import hashlib
+    import os
+
+    from .stream import MANIFEST_SCHEMA_VERSION
+
+    _check_version(document, MANIFEST_SCHEMA_VERSION, "manifest")
+    shards = document.get("shards")
+    totals = document.get("totals")
+    if not isinstance(shards, list) or not isinstance(totals, dict):
+        _fail("manifest: shards/totals sections missing")
+    opened = totals.get("spans_opened")
+    emitted = totals.get("spans_emitted")
+    sampled = totals.get("spans_sampled_out")
+    dropped = totals.get("spans_dropped")
+    if not all(isinstance(v, int)
+               for v in (opened, emitted, sampled, dropped)):
+        _fail("manifest: lossiness totals must be integers")
+    if opened != _t.cast(int, emitted) + _t.cast(int, sampled) \
+            + _t.cast(int, dropped):
+        _fail(f"manifest: lossiness ledger does not balance: "
+              f"{opened} opened != {emitted} emitted + {sampled} "
+              f"sampled out + {dropped} dropped")
+    shard_records = shard_spans = 0
+    for index, shard in enumerate(shards):
+        if not isinstance(shard, dict):
+            _fail(f"manifest: shards[{index}] is not an object")
+        for field in ("name", "records", "spans", "bytes", "sha256"):
+            if field not in shard:
+                _fail(f"manifest: shards[{index}] missing {field!r}")
+        shard_records += _t.cast(int, shard["records"])
+        shard_spans += _t.cast(int, shard["spans"])
+        if directory is not None:
+            path = os.path.join(directory, _t.cast(str, shard["name"]))
+            try:
+                with open(path, "rb") as handle:
+                    data = handle.read()
+            except OSError as error:
+                _fail(f"manifest: shard {shard['name']!r} unreadable: "
+                      f"{error}")
+            if len(data) != shard["bytes"]:
+                _fail(f"manifest: shard {shard['name']!r} is {len(data)} "
+                      f"bytes on disk, manifest says {shard['bytes']}")
+            digest = hashlib.sha256(data).hexdigest()
+            if digest != shard["sha256"]:
+                _fail(f"manifest: shard {shard['name']!r} sha256 "
+                      f"mismatch (corrupt or rewritten)")
+            lines = data.count(b"\n")
+            if lines != shard["records"]:
+                _fail(f"manifest: shard {shard['name']!r} holds {lines} "
+                      f"records, manifest says {shard['records']}")
+    if shard_records != totals.get("records"):
+        _fail("manifest: shard record counts do not sum to totals")
+    if shard_spans != emitted:
+        _fail("manifest: shard span counts do not sum to spans_emitted")
+    return {"shards": len(shards), "records": shard_records,
+            "spans_emitted": _t.cast(int, emitted),
+            "spans_sampled_out": _t.cast(int, sampled),
+            "spans_dropped": _t.cast(int, dropped),
+            "verified": directory is not None}
+
+
+def _validate_shard_record(record: object, where: str) -> str:
+    if not isinstance(record, dict):
+        _fail(f"{where}: not an object")
+    kind = record.get("k")
+    fields = SHARD_RECORD_FIELDS.get(_t.cast(str, kind))
+    if fields is None:
+        _fail(f"{where}: unknown record kind {kind!r}")
+    for field in fields:
+        if field not in record:
+            _fail(f"{where}: {kind!r} record missing {field!r}")
+    if not isinstance(record["rsr"], int):
+        _fail(f"{where}: rsr must be an integer")
+    return _t.cast(str, kind)
+
+
+def validate_shard_lines(lines: _t.Iterable[str], *,
+                         name: str = "shard") -> dict[str, object]:
+    """Validate a stream shard's JSONL records line by line."""
+    counts = {kind: 0 for kind in SHARD_RECORD_FIELDS}
+    total = 0
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            _fail(f"{name}:{number}: blank line in shard")
+        where = f"{name}:{number}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            _fail(f"{where}: not valid JSON: {error}")
+        counts[_validate_shard_record(record, where)] += 1
+        total += 1
+    if total == 0:
+        _fail(f"{name}: shard holds no records")
+    return {"records": total, **{f"kind_{k}": v for k, v in counts.items()}}
+
+
 #: Analysis-document schemas to their validators (sniffed by schema id).
 ANALYSIS_VALIDATORS: dict[str, _t.Callable[
     [_t.Mapping[str, object]], dict[str, object]]] = {
@@ -326,19 +451,34 @@ ANALYSIS_VALIDATORS: dict[str, _t.Callable[
 
 def validate_file(path: str) -> tuple[str, dict[str, object]]:
     """Sniff ``path`` and validate it; returns (document kind, summary)."""
+    import os
+
     from ..bench.record import SCHEMA, validate_record_document
+    from .stream import MANIFEST_SCHEMA
 
     with open(path) as handle:
-        document = json.load(handle)
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError:
+            # Not one JSON document: validate as a JSONL stream shard.
+            handle.seek(0)
+            return "shard", validate_shard_lines(
+                handle, name=os.path.basename(path))
     if isinstance(document, dict):
         schema = document.get("schema")
         if schema == SCHEMA:
             summary = validate_record_document(document)
             summary.update(validate_load_record(document))
             return "record", summary
+        if schema == MANIFEST_SCHEMA:
+            return "manifest", validate_manifest_document(
+                document, directory=os.path.dirname(path) or ".")
         if isinstance(schema, str) and schema in ANALYSIS_VALIDATORS:
             return (schema.rsplit(".", 1)[-1],
                     ANALYSIS_VALIDATORS[schema](document))
+        if "k" in document:  # a one-record shard parses as one object
+            return "shard", validate_shard_lines(
+                [json.dumps(document)], name=os.path.basename(path))
     return "trace", validate_trace_document(document)
 
 
@@ -369,6 +509,19 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     elif kind == "critpath":
         print(f"OK: {summary['paths']} critical paths "
               f"({summary['steps']} steps)")
+    elif kind == "manifest":
+        verified = ("shards verified on disk" if summary["verified"]
+                    else "shards not cross-checked")
+        print(f"OK: stream manifest with {summary['shards']} shards / "
+              f"{summary['records']} records "
+              f"({summary['spans_emitted']} spans emitted, "
+              f"{summary['spans_sampled_out']} sampled out, "
+              f"{summary['spans_dropped']} dropped; {verified})")
+    elif kind == "shard":
+        print(f"OK: stream shard with {summary['records']} records "
+              f"({summary['kind_s']} spans, {summary['kind_d']} "
+              f"deliveries, {summary['kind_x']} drops, "
+              f"{summary['kind_r']} resolutions)")
     else:
         print(f"OK: {summary['span_events']} spans over "
               f"{summary['rsrs']} RSRs "

@@ -130,6 +130,5 @@ class MulticastTransport(IpTransport):
                 self._arrive_later(destination, copy, profile.latency),
                 name=f"mcast:arrive:{message.handler}",
             )
-        if trace is not None and trace.current is not None:
-            trace.obs.close_span(trace.current)
-            trace.current = None
+        if trace is not None:
+            trace.retire()

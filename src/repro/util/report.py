@@ -70,14 +70,30 @@ def _observability_section(nexus: "Nexus") -> list[str]:
     from ..core.enquiry import _build_latency_report, _build_phase_report
 
     obs = nexus.obs
-    if not obs.enabled or not obs.spans:
+    if not obs.enabled or not (obs.spans or obs.streaming):
         return []
     lines = ["observability:"]
-    lines.append(
-        f"  {len(obs.spans)} spans over {obs.rsrs_started} RSRs "
-        f"({obs.rsrs_finished} delivered"
-        + (f", {obs.dropped_spans} spans dropped at capacity)"
-           if obs.dropped_spans else ")"))
+    if obs.streaming:
+        overhead = obs.overhead()
+        lines.append(
+            f"  streaming: {overhead['spans_recorded']} spans spooled "
+            f"over {obs.rsrs_started} RSRs "
+            f"({obs.rsrs_finished} delivered), "
+            f"{overhead.get('spans_sampled_out', 0)} sampled out, "
+            f"peak {obs.peak_spans} open spans, "
+            f"{overhead.get('shards', 0)} shard(s)")
+        sink = obs._sink if obs._sink is not None else obs._retired_sink
+        if sink is not None:
+            lines.append(
+                f"  spool: {sink.bytes_written} bytes written, "
+                f"{sink.wall_s * 1e3:.2f} ms wall in obs")
+    else:
+        lines.append(
+            f"  {len(obs.spans)} spans over {obs.rsrs_started} RSRs "
+            f"({obs.rsrs_finished} delivered), "
+            f"peak log occupancy {obs.peak_spans}"
+            + (f", {obs.dropped_spans} spans dropped at capacity"
+               if obs.dropped_spans else ""))
     for method, stats in sorted(_build_latency_report(nexus).items()):
         lines.append(
             f"  end-to-end {method:>8}: n={stats.count:<6} "

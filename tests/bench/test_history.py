@@ -1,0 +1,133 @@
+"""Bench history ledger and variance-aware wall gating."""
+
+import json
+
+from repro.bench.history import (
+    MIN_RUNS,
+    append_history,
+    load_history,
+    wall_bands,
+)
+from repro.bench.record import (
+    DIR_HIGHER,
+    DIR_LOWER,
+    KIND_SIM,
+    KIND_WALL,
+    STATUS_OK,
+    STATUS_REGRESSED,
+    compare_records,
+)
+
+
+def make_document(wall_s, events_per_s=None, *, artefact="analysis"):
+    metrics = {"wall_median_s": {"value": wall_s, "unit": "s",
+                                 "kind": KIND_WALL,
+                                 "direction": DIR_LOWER}}
+    if events_per_s is not None:
+        metrics["events_per_s"] = {"value": events_per_s, "unit": "1/s",
+                                   "kind": KIND_WALL,
+                                   "direction": DIR_HIGHER}
+    return {"schema": "repro.bench.record", "label": "wall-quick",
+            "environment": {"mode": "quick"},
+            "artefacts": {artefact: {"metrics": metrics}}}
+
+
+class TestLedger:
+    def test_append_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        for value in (1.0, 1.1, 0.9):
+            append_history(path, make_document(value))
+        history = load_history(path)
+        assert [doc["artefacts"]["analysis"]["metrics"]["wall_median_s"]
+                ["value"] for doc in history] == [1.0, 1.1, 0.9]
+
+    def test_truncated_tail_is_skipped_not_fatal(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        append_history(path, make_document(1.0))
+        with open(path, "a") as handle:
+            handle.write(json.dumps(make_document(2.0))[:40])
+        assert len(load_history(path)) == 1
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert load_history(str(tmp_path / "absent.jsonl")) == []
+
+
+class TestBands:
+    def test_bands_need_min_runs(self):
+        history = [make_document(1.0) for _ in range(MIN_RUNS - 1)]
+        assert wall_bands(history) == {}
+        history.append(make_document(1.0))
+        assert ("analysis", "wall_median_s") in wall_bands(history)
+
+    def test_band_tracks_spread(self):
+        history = [make_document(v) for v in (1.0, 1.1, 0.9, 1.05, 0.95)]
+        lo, hi = wall_bands(history, k=3.0)[("analysis", "wall_median_s")]
+        assert lo < 0.9 and hi > 1.1
+        assert hi < 2.0, "band should stay in the data's neighbourhood"
+
+    def test_stable_metric_keeps_relative_floor(self):
+        history = [make_document(2.0) for _ in range(8)]
+        lo, hi = wall_bands(history, k=1.0)[("analysis", "wall_median_s")]
+        # IQR is zero; the floor keeps the band non-degenerate.
+        assert lo < 2.0 < hi
+        assert hi - lo >= 0.1
+
+
+class TestBandedCompare:
+    def run(self, history_values, current, **kw):
+        history = [make_document(v) for v in history_values]
+        bands = wall_bands(history, **kw)
+        baseline = make_document(history_values[0])
+        return compare_records(baseline, make_document(current),
+                               wall_tolerance=0.5, wall_bands=bands)
+
+    def test_inside_band_passes(self):
+        comparison = self.run([1.0, 1.1, 0.9, 1.05, 0.95], 1.08)
+        assert comparison.ok
+        (diff,) = [d for d in comparison.diffs
+                   if d.name == "wall_median_s"]
+        assert diff.status == STATUS_OK
+
+    def test_outside_band_regresses(self):
+        comparison = self.run([1.0, 1.1, 0.9, 1.05, 0.95], 3.0)
+        assert not comparison.ok
+        (diff,) = [d for d in comparison.diffs
+                   if d.name == "wall_median_s"]
+        assert diff.status == STATUS_REGRESSED
+
+    def test_band_overrides_flat_tolerance(self):
+        # 1.35 is within the +50% flat tolerance of the 1.0 baseline but
+        # outside the tight band of a very stable history.
+        comparison = self.run([1.0] * 8, 1.35, k=1.0)
+        assert not comparison.ok
+
+    def test_higher_is_better_band_direction(self):
+        history = [make_document(1.0, events_per_s=1000.0)
+                   for _ in range(6)]
+        bands = wall_bands(history, k=1.0)
+        baseline = make_document(1.0, events_per_s=1000.0)
+        slow = compare_records(baseline,
+                               make_document(1.0, events_per_s=500.0),
+                               wall_bands=bands)
+        (diff,) = [d for d in slow.diffs if d.name == "events_per_s"]
+        assert diff.status == STATUS_REGRESSED
+
+    def test_unbanded_wall_metric_keeps_flat_gate(self):
+        baseline = make_document(1.0)
+        comparison = compare_records(baseline, make_document(1.2),
+                                     wall_tolerance=0.5, wall_bands={})
+        assert comparison.ok
+
+    def test_sim_metrics_unaffected_by_bands(self):
+        baseline = make_document(1.0)
+        baseline["artefacts"]["analysis"]["metrics"]["count"] = {
+            "value": 10.0, "unit": "", "kind": KIND_SIM,
+            "direction": DIR_LOWER}
+        current = make_document(1.0)
+        current["artefacts"]["analysis"]["metrics"]["count"] = {
+            "value": 20.0, "unit": "", "kind": KIND_SIM,
+            "direction": DIR_LOWER}
+        comparison = compare_records(
+            baseline, current,
+            wall_bands={("analysis", "count"): (0.0, 100.0)})
+        assert not comparison.ok, "bands must never loosen sim gating"

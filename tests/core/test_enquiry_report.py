@@ -57,7 +57,8 @@ class TestReport:
         report = enquiry.report(traced_bed.nexus)
         as_dict = report.as_dict()
         assert set(as_dict) == {"now", "transports", "polling", "phases",
-                                "latency", "poll_batches", "health"}
+                                "latency", "poll_batches", "health",
+                                "obs_overhead"}
         for section in ("transports", "polling", "phases", "latency",
                         "poll_batches"):
             for stats in as_dict[section].values():

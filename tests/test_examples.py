@@ -24,6 +24,7 @@ EXPECTED_OUTPUT = {
     "chaos_climate.py": "TCP recovered",
     "load_capacity.py": "reproduced as capacity",
     "telemetry_analysis.py": "in-window violations the aggregate missed",
+    "streaming_telemetry.py": "byte-identical to the in-memory extraction",
 }
 
 
