@@ -9,6 +9,7 @@ Usage::
     python -m repro.bench --quick --record out.json \\
         --baseline benchmarks/BENCH_quick_baseline.json --check
     python -m repro.bench --quick --trace trace.json --profile --flame out.folded
+    python -m repro.bench --quick --jobs 4 --record BENCH_quick.json
     python -m repro.bench --wall --quick --record BENCH_wall.json \\
         --baseline benchmarks/BENCH_wall_baseline.json --check
     python -m repro.bench --list
@@ -214,6 +215,18 @@ def _run_analysis(quick: bool, record: BenchRecord | None) -> None:
     print("shape: OK")
 
 
+def _run_fleet(quick: bool, record: BenchRecord | None) -> None:
+    from .fleet import check_fleet_shape, fleet_scaling
+    from .record import record_fleet
+
+    scaling = fleet_scaling(quick=quick)
+    print(scaling.render())
+    if record is not None:
+        record_fleet(record, scaling)
+    check_fleet_shape(scaling)
+    print("shape: OK")
+
+
 ARTEFACTS: dict[str, _t.Callable[[bool, BenchRecord | None], None]] = {
     "figure4": _run_figure4,
     "figure6": _run_figure6,
@@ -225,6 +238,16 @@ ARTEFACTS: dict[str, _t.Callable[[bool, BenchRecord | None], None]] = {
     "analysis": _run_analysis,
 }
 
+#: Opt-in artefacts: runnable by name, excluded from the default "run
+#: everything" selection (the fleet tier times multi-process scaling,
+#: which would perturb — and be perturbed by — the rest of the suite).
+EXTRA_ARTEFACTS: dict[str, _t.Callable[[bool, BenchRecord | None],
+                                       None]] = {
+    "fleet": _run_fleet,
+}
+
+ALL_ARTEFACTS = {**ARTEFACTS, **EXTRA_ARTEFACTS}
+
 
 def main(argv: _t.Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
@@ -233,10 +256,15 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         description="Regenerate the paper's evaluation artefacts.",
     )
     parser.add_argument("artefacts", nargs="*", metavar="ARTEFACT",
-                        help=f"one of: {', '.join(ARTEFACTS)} "
-                             "(default: all)")
+                        help=f"one of: {', '.join(ALL_ARTEFACTS)} "
+                             "(default: all except "
+                             f"{', '.join(EXTRA_ARTEFACTS)})")
     parser.add_argument("--quick", action="store_true",
                         help="reduced workload sizes")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run simulation artefacts across N worker "
+                             "processes (repro.fleet); merged records "
+                             "are byte-identical to --jobs 1")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="trace every RSR lifecycle and write a "
                              "Chrome trace-event JSON (load in Perfetto)")
@@ -305,7 +333,7 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
-        for name in ARTEFACTS:
+        for name in ALL_ARTEFACTS:
             print(name)
         return 0
     if args.check and not args.baseline:
@@ -313,6 +341,27 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     if args.wall and (args.trace or args.profile or args.flame):
         parser.error("--wall times untraced runs; it cannot be combined "
                      "with --trace/--profile/--flame")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.jobs > 1:
+        # Everything that depends on in-process global state cannot fan
+        # out: wall timings would perturb each other, trace collection
+        # and tracemalloc are per-process, and the analysis export
+        # globals do not propagate to spawn workers.
+        if args.wall:
+            parser.error("--wall stays serial so timings are not "
+                         "perturbed; it cannot combine with --jobs")
+        if args.trace or args.profile or args.flame:
+            parser.error("--jobs cannot combine with "
+                         "--trace/--profile/--flame (trace collection "
+                         "is in-process)")
+        if args.export_dir or args.stream_dir:
+            parser.error("--jobs cannot combine with "
+                         "--export-dir/--stream-dir (analysis export "
+                         "state is per-process)")
+        if args.mem_ceiling_mb is not None:
+            parser.error("--jobs cannot combine with --mem-ceiling-mb "
+                         "(tracemalloc is per-process)")
 
     if args.sample is not None and args.stream_dir is None:
         parser.error("--sample requires --stream-dir")
@@ -337,9 +386,14 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
 
     selected = args.artefacts or list(ARTEFACTS)
     for name in selected:
-        if name not in ARTEFACTS:
+        if name not in ALL_ARTEFACTS:
             parser.error(f"unknown artefact {name!r}; "
-                         f"choose from {', '.join(ARTEFACTS)}")
+                         f"choose from {', '.join(ALL_ARTEFACTS)}")
+    if args.jobs > 1 and "fleet" in selected:
+        # Fleet workers are daemonic processes and cannot spawn the
+        # nested pools the scaling artefact itself needs.
+        parser.error("the fleet artefact measures its own worker "
+                     "scaling; run it at --jobs 1")
 
     baseline = None
     if args.baseline:
@@ -369,22 +423,50 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         for name in selected:
             print(f"=== {name} {'(quick)' if args.quick else ''} ===")
             measurement = measure_artefact(
-                name, ARTEFACTS[name], quick=args.quick, runs=args.runs)
+                name, ALL_ARTEFACTS[name], quick=args.quick,
+                runs=args.runs)
             print(measurement.summary())
             if record is not None:
                 record_wall(record, measurement)
+    elif args.jobs > 1:
+        from ..fleet.merge import FleetTaskError, merge_bench_outcomes
+        from ..fleet.plan import BenchFanout, run_plan
+
+        plan = BenchFanout(artefacts=tuple(selected), quick=args.quick)
+        run = run_plan(plan, jobs=args.jobs)
+        sink = record if record is not None else BenchRecord(
+            "fleet-merge", quick=args.quick)
+        try:
+            merged = merge_bench_outcomes(sink, run.outcomes)
+        except FleetTaskError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            print(exc.remote_traceback, file=sys.stderr)
+            return 1
+        # Replay worker stdout in selection order (== task-key order),
+        # so the transcript reads like the serial run regardless of
+        # completion order; per-artefact wall is the worker's own.
+        for result in merged:
+            print(f"=== {result.name} {'(quick)' if args.quick else ''} "
+                  "===")
+            sys.stdout.write(result.stdout)
+            if record is not None:
+                record.add(result.name, "wall_s", result.wall_s,
+                           unit="s", kind=KIND_WALL)
+            print(f"[{result.name}: {result.wall_s:.1f}s wall]\n")
+        print(f"[fleet: {len(merged)} artefact(s) at jobs={args.jobs}: "
+              f"{run.wall_s:.1f}s wall]\n")
     else:
         for name in selected:
             print(f"=== {name} {'(quick)' if args.quick else ''} ===")
             started = time.perf_counter()
             if tracing:
                 with _obs.collecting() as runs:
-                    ARTEFACTS[name](args.quick, record)
+                    ALL_ARTEFACTS[name](args.quick, record)
                 collected.extend(runs)
                 if record is not None:
                     record_observability(record, name, runs)
             else:
-                ARTEFACTS[name](args.quick, record)
+                ALL_ARTEFACTS[name](args.quick, record)
             elapsed = time.perf_counter() - started
             if record is not None:
                 record.add(name, "wall_s", elapsed, unit="s",

@@ -17,9 +17,15 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import typing as _t
 
 from .record import KIND_WALL
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
 
 #: Bands need this many historical runs before they gate; below it the
 #: spread estimate is meaningless and the flat tolerance applies.
@@ -31,11 +37,28 @@ REL_FLOOR = 0.05
 
 
 def append_history(path: str, document: _t.Mapping[str, object]) -> None:
-    """Append one record document as a single compact JSON line."""
-    line = json.dumps(document, sort_keys=True, separators=(",", ":"))
-    with open(path, "a") as handle:
-        handle.write(line)
-        handle.write("\n")
+    """Append one record document as a single compact JSON line.
+
+    Safe under concurrent writers (parallel fleet tasks appending to a
+    shared ledger): the whole line is serialised first, the descriptor
+    is opened ``O_APPEND``, an exclusive ``flock`` is held for the
+    write, and the line goes out in a **single** ``os.write`` — so two
+    appenders can interleave whole lines but never fragments of them.
+    On filesystems without ``flock`` the single atomic append write is
+    still the interleaving guarantee.
+    """
+    data = (json.dumps(document, sort_keys=True, separators=(",", ":"))
+            + "\n").encode("utf-8")
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        if fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            except OSError:
+                pass  # lock-free filesystem: O_APPEND still holds
+        os.write(fd, data)
+    finally:
+        os.close(fd)
 
 
 def load_history(path: str) -> list[dict[str, object]]:

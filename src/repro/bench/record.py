@@ -153,6 +153,33 @@ class BenchRecord:
     def metrics(self, artefact: str) -> dict[str, Metric]:
         return dict(self._artefacts.get(_slug(artefact), {}))
 
+    def fragments(self, *, include_wall: bool = True
+                  ) -> tuple[tuple[str, str, float, str, str, str], ...]:
+        """The record flattened to plain ``(artefact, name, value,
+        unit, kind, direction)`` tuples, sorted.
+
+        This is the wire format fleet workers ship their metrics in —
+        picklable without carrying the record class across processes.
+        """
+        return tuple(
+            (artefact, name, metric.value, metric.unit, metric.kind,
+             metric.direction)
+            for artefact in sorted(self._artefacts)
+            for name, metric in sorted(self._artefacts[artefact].items())
+            if include_wall or metric.kind != KIND_WALL)
+
+    def absorb(self, fragments: _t.Iterable[
+            tuple[str, str, float, str, str, str]]) -> None:
+        """Add another record's :meth:`fragments` to this one.
+
+        The append-only duplicate check still applies, so two fleet
+        tasks that recorded the same metric fail loudly here instead of
+        silently merging.
+        """
+        for artefact, name, value, unit, kind, direction in fragments:
+            self.add(artefact, name, value, unit=unit, kind=kind,
+                     direction=direction)
+
     def __len__(self) -> int:
         return sum(len(m) for m in self._artefacts.values())
 
@@ -652,6 +679,29 @@ def record_windowed(record: BenchRecord, artefact: str, slug: str,
                    kind=KIND_COUNT, direction=DIR_NONE)
 
 
+def record_fleet(record: BenchRecord, scaling) -> None:
+    """Worker-scaling results from the fleet artefact.
+
+    Wall seconds, speedup, and efficiency are ``wall``-kind (advisory,
+    band-gated via history); the grid's merged-digest equality and the
+    task/cpu counts are deterministic ``count`` metrics.
+    """
+    record.add("fleet", "tasks", scaling.tasks, unit="tasks",
+               kind=KIND_COUNT)
+    record.add("fleet", "cpus", scaling.cpus, unit="cpus",
+               kind=KIND_COUNT, direction=DIR_NONE)
+    record.add("fleet", "merge_identical", float(scaling.merge_identical),
+               unit="bool", kind=KIND_COUNT, direction=DIR_HIGHER)
+    for point in scaling.points:
+        base = f"workers{point.workers}"
+        record.add("fleet", f"{base}.wall_s", point.wall_s, unit="s",
+                   kind=KIND_WALL)
+        record.add("fleet", f"{base}.speedup", point.speedup, unit="x",
+                   kind=KIND_WALL, direction=DIR_HIGHER)
+        record.add("fleet", f"{base}.efficiency", point.efficiency,
+                   unit="frac", kind=KIND_WALL, direction=DIR_HIGHER)
+
+
 def record_analysis(record: BenchRecord, bench) -> None:
     """Windowed chaos outcome, comm-graph shape, and critical paths."""
     chaos = bench.chaos_result
@@ -743,6 +793,7 @@ __all__ = [
     "record_chaos",
     "record_figure4",
     "record_figure6",
+    "record_fleet",
     "record_load",
     "record_observability",
     "record_table1",

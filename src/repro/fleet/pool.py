@@ -1,0 +1,391 @@
+"""A spawn-based worker pool for independent simulation tasks.
+
+The pool is deliberately *declarative*: a :class:`FleetTask` carries a
+task **key**, the **name** of a registered runner (or a
+``"module:callable"`` dotted path importable in the worker), and a
+plain-data **payload** of keyword arguments.  Nothing live — no open
+runtimes, no queues, no bound methods — ever crosses the process
+boundary; workers rebuild everything from the declarative spec, which
+is what keeps a fleet run a pure function of its task list.
+
+Robustness contract:
+
+* every result and every failure comes back **tagged by task key**, so
+  callers can merge outputs in deterministic key order regardless of
+  completion order;
+* an exception inside a runner is caught in the worker and surfaced as
+  a structured :class:`FleetTaskError` carrying the task key, the
+  remote exception type, and the full remote traceback text — never a
+  bare hang;
+* a worker that dies outright (``os._exit``, OOM-kill, segfault) is
+  reaped: its in-flight task errors with the exit code, surviving
+  workers keep draining the queue, and if *every* worker is gone the
+  still-queued tasks error out instead of deadlocking the parent;
+* results are pre-pickled inside the worker so an unpicklable return
+  value becomes an ordinary per-task error instead of a mid-send
+  crash.
+
+Results travel over a **private pipe per worker**, written
+synchronously from the worker's main thread — never a shared queue.  A
+shared result queue puts a feeder thread and a shared write lock
+between every worker and the parent, and a worker dying mid-send
+(``os._exit`` fires while its feeder holds the lock) poisons the lock
+and silently hangs every *surviving* worker's results.  With private
+pipes a crash can only sever the crashing worker's own channel, which
+the parent observes as an immediate EOF — crash detection is
+event-driven, not a liveness poll.
+
+``spawn`` (not ``fork``) is used unconditionally: forked children would
+inherit the parent's live simulators, RNG state, and open spool file
+handles — exactly the implicit state this layer exists to exclude.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import multiprocessing.connection
+import pickle
+import traceback
+import typing as _t
+
+#: How long the collector's ``connection.wait`` sleeps before checking
+#: worker liveness again (seconds).  EOFs wake it immediately; this is
+#: only the heartbeat for the belt-and-braces ``is_alive`` sweep.
+_REAP_INTERVAL_S = 0.25
+
+#: Parent-side join grace before a lingering worker is terminated.
+_JOIN_TIMEOUT_S = 5.0
+
+
+class FleetSpecError(ValueError):
+    """A task spec is malformed (bad key, duplicate, unpicklable)."""
+
+
+class FleetTaskError(Exception):
+    """One task failed in a worker; carries the remote evidence.
+
+    ``remote_traceback`` is the worker-side ``traceback.format_exc()``
+    text (or a synthesized note for hard crashes), so the parent can
+    print exactly what the worker saw without re-raising a foreign
+    exception type.
+    """
+
+    def __init__(self, key: str, exc_type: str, message: str,
+                 remote_traceback: str):
+        super().__init__(f"fleet task {key!r} failed: "
+                         f"{exc_type}: {message}")
+        self.key = key
+        self.exc_type = exc_type
+        self.message = message
+        self.remote_traceback = remote_traceback
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetTask:
+    """One declarative unit of work.
+
+    ``runner`` names a callable in :data:`repro.fleet.tasks.RUNNERS`
+    or a ``"package.module:function"`` path the worker can import;
+    ``payload`` is the keyword arguments it receives.  Both must be
+    picklable plain data — see the "what must never be pickled" rules
+    in ARCHITECTURE.md.
+    """
+
+    key: str
+    runner: str
+    payload: _t.Mapping[str, object] = dataclasses.field(
+        default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise FleetSpecError("fleet task key must be non-empty")
+        if not self.runner:
+            raise FleetSpecError(f"task {self.key!r} names no runner")
+
+    def encode(self) -> bytes:
+        """The wire form; raises :class:`FleetSpecError` eagerly."""
+        try:
+            return pickle.dumps((self.runner, dict(self.payload)),
+                                protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise FleetSpecError(
+                f"task {self.key!r} payload is not picklable — task "
+                f"specs must be declarative plain data ({exc})") from exc
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskOutcome:
+    """What one task produced: a result, or a structured error."""
+
+    key: str
+    result: object = None
+    error: FleetTaskError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _check_unique(tasks: _t.Sequence[FleetTask]) -> None:
+    seen: set[str] = set()
+    for task in tasks:
+        if task.key in seen:
+            raise FleetSpecError(f"duplicate fleet task key {task.key!r}")
+        seen.add(task.key)
+
+
+# -- worker side --------------------------------------------------------------
+
+def _worker_main(index: int, task_queue, conn) -> None:
+    """Worker loop: ack, run, report.  Lives in the spawned child.
+
+    ``conn`` is this worker's private pipe end; every send happens
+    synchronously from this thread, so a hard crash can never leave a
+    half-held shared lock behind.
+    """
+    from .tasks import resolve_runner
+
+    while True:
+        item = task_queue.get()
+        if item is None:
+            conn.close()
+            return
+        key, blob = item
+        # Ack *before* any work so the parent can pin a hard crash to
+        # this task; the window where a death loses a task silently is
+        # one queue.get().
+        conn.send(("ack", key, index))
+        try:
+            runner_name, payload = pickle.loads(blob)
+            fn = resolve_runner(runner_name)
+            result = fn(**payload)
+            out = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        except BaseException as exc:  # noqa: BLE001 - must report, not die
+            conn.send(("err", key, type(exc).__name__, str(exc),
+                       traceback.format_exc()))
+        else:
+            conn.send(("ok", key, out))
+
+
+# -- parent side --------------------------------------------------------------
+
+class FleetPool:
+    """A persistent pool of spawned workers; a context manager.
+
+    Use :meth:`run` for a batch (results keyed and key-ordered), or
+    :meth:`submit` + :meth:`as_completed` to stream outcomes as they
+    finish.  The pool survives multiple batches — the parallel capacity
+    search reuses one pool across bisection rounds.
+    """
+
+    def __init__(self, workers: int, *, name: str = "fleet"):
+        if workers < 1:
+            raise FleetSpecError(f"pool needs >= 1 worker, got {workers}")
+        self.workers = workers
+        self.name = name
+        self._ctx = multiprocessing.get_context("spawn")
+        self._tasks: "multiprocessing.Queue | None" = None
+        self._conns: dict[int, _t.Any] = {}   # worker index -> read end
+        self._procs: list = []
+        self._pending: dict[str, FleetTask] = {}
+        self._started: dict[str, int] = {}   # key -> worker index
+        self._reaped: set[int] = set()
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "FleetPool":
+        if self._procs:
+            return self
+        self._tasks = self._ctx.Queue()
+        for index in range(self.workers):
+            receive, send = self._ctx.Pipe(duplex=False)
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(index, self._tasks, send),
+                name=f"{self.name}-worker-{index}",
+                daemon=True,
+            )
+            proc.start()
+            # Drop the parent's copy of the write end: the worker now
+            # holds the only one, so its death reads as EOF here.
+            send.close()
+            self._conns[index] = receive
+            self._procs.append(proc)
+        return self
+
+    def __enter__(self) -> "FleetPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._tasks is not None:
+            for _ in self._procs:
+                try:
+                    self._tasks.put(None)
+                except (OSError, ValueError):  # pragma: no cover - teardown
+                    break
+        for proc in self._procs:
+            proc.join(timeout=_JOIN_TIMEOUT_S)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=_JOIN_TIMEOUT_S)
+        for conn in self._conns.values():
+            conn.close()
+        self._conns.clear()
+        if self._tasks is not None:
+            self._tasks.close()
+            self._tasks.cancel_join_thread()
+        self._tasks = None
+
+    # -- submission & collection ---------------------------------------------
+
+    def submit(self, task: FleetTask) -> None:
+        """Queue one task; encodes (and so validates) it eagerly."""
+        if self._closed:
+            raise FleetSpecError("pool is closed")
+        if task.key in self._pending:
+            raise FleetSpecError(f"duplicate fleet task key {task.key!r}")
+        blob = task.encode()
+        self.start()
+        assert self._tasks is not None
+        self._pending[task.key] = task
+        self._tasks.put((task.key, blob))
+
+    def as_completed(self) -> _t.Iterator[TaskOutcome]:
+        """Yield an outcome per pending task, in completion order.
+
+        Never deadlocks: a dead worker's severed pipe is an immediate
+        EOF that reaps its in-flight task into a crash outcome, and if
+        the whole pool dies the remaining queued tasks error out.
+        """
+        while self._pending:
+            live = {index: conn for index, conn in self._conns.items()
+                    if index not in self._reaped}
+            if not live:
+                yield from self._exhausted()
+                return
+            ready = multiprocessing.connection.wait(
+                list(live.values()), timeout=_REAP_INTERVAL_S)
+            if not ready:
+                # Heartbeat sweep: catches a worker that died before
+                # its pipe was even set up.
+                yield from self._reap_if_dead(
+                    index for index, proc in enumerate(self._procs)
+                    if not proc.is_alive())
+                continue
+            by_conn = {id(conn): index for index, conn in live.items()}
+            for conn in ready:
+                index = by_conn[id(conn)]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    yield from self._reap_if_dead([index])
+                    continue
+                yield from self._dispatch(message)
+
+    def _dispatch(self, message) -> _t.Iterator[TaskOutcome]:
+        kind = message[0]
+        if kind == "ack":
+            _kind, key, index = message
+            self._started[key] = index
+        elif kind == "ok":
+            _kind, key, blob = message
+            self._started.pop(key, None)
+            if self._pending.pop(key, None) is not None:
+                yield TaskOutcome(key=key, result=pickle.loads(blob))
+        elif kind == "err":
+            _kind, key, exc_type, text, tb = message
+            self._started.pop(key, None)
+            if self._pending.pop(key, None) is not None:
+                yield TaskOutcome(key=key, error=FleetTaskError(
+                    key, exc_type, text, tb))
+        # anything else: ignore (forward compatibility)
+
+    def _reap_if_dead(self, indices: _t.Iterable[int]
+                      ) -> _t.Iterator[TaskOutcome]:
+        """Turn dead workers' in-flight tasks into crash outcomes."""
+        for index in indices:
+            if index in self._reaped:
+                continue
+            proc = self._procs[index]
+            proc.join(timeout=_JOIN_TIMEOUT_S)
+            if proc.is_alive():  # pragma: no cover - EOF without death
+                continue
+            self._reaped.add(index)
+            for key, owner in list(self._started.items()):
+                if owner != index:
+                    continue
+                del self._started[key]
+                if self._pending.pop(key, None) is not None:
+                    yield TaskOutcome(key=key, error=FleetTaskError(
+                        key, "WorkerCrash",
+                        f"worker {index} died with exit code "
+                        f"{proc.exitcode} while running this task",
+                        f"(no remote traceback: worker process {index} "
+                        f"terminated with exit code {proc.exitcode})"))
+        if self._pending and len(self._reaped) == len(self._procs):
+            yield from self._exhausted()
+
+    def _exhausted(self) -> _t.Iterator[TaskOutcome]:
+        """The whole pool is gone; queued tasks can never run."""
+        for key in sorted(self._pending):
+            self._pending.pop(key)
+            yield TaskOutcome(key=key, error=FleetTaskError(
+                key, "PoolExhausted",
+                "every worker died before this task started",
+                "(no remote traceback: the task was still queued)"))
+
+    def run(self, tasks: _t.Sequence[FleetTask]
+            ) -> dict[str, TaskOutcome]:
+        """Submit a batch and collect every outcome, key-ordered."""
+        tasks = tuple(tasks)
+        _check_unique(tasks)
+        for task in tasks:
+            self.submit(task)
+        outcomes = {outcome.key: outcome for outcome in self.as_completed()}
+        return {key: outcomes[key] for key in sorted(outcomes)}
+
+
+def run_serial(tasks: _t.Sequence[FleetTask]) -> dict[str, TaskOutcome]:
+    """Execute tasks in-process, in submission order; key-ordered result.
+
+    The ``--jobs 1`` path: same task specs, same runners, same outcome
+    shape — no processes.  Exceptions become :class:`FleetTaskError`s
+    exactly as they would across the wire, so error handling is
+    identical in both modes.
+    """
+    from .tasks import resolve_runner
+
+    tasks = tuple(tasks)
+    _check_unique(tasks)
+    outcomes: dict[str, TaskOutcome] = {}
+    for task in tasks:
+        task.encode()  # enforce the same declarative contract as spawn
+        try:
+            fn = resolve_runner(task.runner)
+            result = fn(**dict(task.payload))
+        except Exception as exc:
+            outcomes[task.key] = TaskOutcome(
+                key=task.key, error=FleetTaskError(
+                    task.key, type(exc).__name__, str(exc),
+                    traceback.format_exc()))
+        else:
+            outcomes[task.key] = TaskOutcome(key=task.key, result=result)
+    return {key: outcomes[key] for key in sorted(outcomes)}
+
+
+__all__ = [
+    "FleetPool",
+    "FleetSpecError",
+    "FleetTask",
+    "FleetTaskError",
+    "TaskOutcome",
+    "run_serial",
+]

@@ -101,6 +101,8 @@ def find_capacity(scenario: LoadScenario, slo: SLO, *,
                   tolerance: float = 0.05,
                   max_probes: int = 12,
                   on_probe: _t.Callable[[CapacityProbe], None] | None = None,
+                  parallel: int = 1,
+                  pool: _t.Any | None = None,
                   ) -> CapacityResult:
     """Bisect offered rate for the highest SLO-compliant operating point.
 
@@ -108,14 +110,32 @@ def find_capacity(scenario: LoadScenario, slo: SLO, *,
     sim-second; ``tolerance`` is the relative bracket width at which the
     search stops.  ``on_probe`` (if given) observes each probe as it
     completes — progress reporting for CLIs.
+
+    ``parallel=k`` turns on **speculative** search: up to ``k`` probe
+    rates are evaluated concurrently across a
+    :class:`~repro.fleet.pool.FleetPool` — the serial bisection's next
+    rate plus the rates it *would* try next down each branch of the
+    pass/fail decision tree.  Verdicts are then replayed in serial
+    order, mispredicted branches are discarded, and the result —
+    capacity, first failing rate, and the exact probe sequence — is
+    identical to ``parallel=1``.  ``pool`` (optional) supplies an
+    already-running pool to reuse across searches; it is left open.
     """
     if not 0 < low < high:
         raise LoadSpecError(f"bad capacity bracket [{low!r}, {high!r}]")
     if not 0 < tolerance < 1:
         raise LoadSpecError(f"bad tolerance {tolerance!r}")
+    if parallel < 1:
+        raise LoadSpecError(f"bad parallel width {parallel!r}")
     if scenario.open_rate <= 0:
         raise LoadSpecError(
             f"scenario {scenario.name!r} has no open-loop fleets to sweep")
+
+    if parallel > 1 or pool is not None:
+        return _find_capacity_speculative(
+            scenario, slo, low=low, high=high, tolerance=tolerance,
+            max_probes=max_probes, on_probe=on_probe,
+            parallel=max(parallel, 1), pool=pool)
 
     probes: list[CapacityProbe] = []
 
@@ -149,6 +169,151 @@ def find_capacity(scenario: LoadScenario, slo: SLO, *,
     return CapacityResult(scenario=scenario.name, slo=slo.name,
                           capacity=best, first_failing_rate=worst,
                           probes=tuple(probes))
+
+
+# -- speculative parallel search ----------------------------------------------
+#
+# The serial bisection is a chain of data-dependent probes: the next
+# rate depends on the last verdict.  But each probe is a pure function
+# of (scenario, slo, rate), so the *candidate* rates down every branch
+# of the pass/fail decision tree are known in advance — exactly the
+# bisection analogue of speculative execution.  Each round evaluates up
+# to `parallel` frontier rates concurrently, then replays the serial
+# algorithm against the verdict cache; rates the serial path never
+# reaches are wasted work and are discarded.  Because the replay uses
+# the identical float arithmetic ((best + worst) / 2.0), the replayed
+# mids match the speculated rates bit for bit, and the returned result
+# — including the probe *sequence* — equals the serial one exactly.
+
+def _speculative_rates(best: float, worst: float, done: int, *,
+                       tolerance: float, max_probes: int,
+                       width: int) -> list[float]:
+    """The next ``width`` rates the serial search could need, BFS order."""
+    rates: list[float] = []
+    frontier = [(best, worst, done)]
+    while frontier and len(rates) < width:
+        b, w, n = frontier.pop(0)
+        if n >= max_probes or (w - b) <= tolerance * b:
+            continue
+        mid = (b + w) / 2.0
+        if mid not in rates:
+            rates.append(mid)
+        frontier.append((mid, w, n + 1))   # if mid passes
+        frontier.append((b, mid, n + 1))   # if mid fails
+    return rates
+
+
+def _replay(cache: dict[float, CapacityProbe], *, scenario_name: str,
+            slo_name: str, low: float, high: float, tolerance: float,
+            max_probes: int
+            ) -> tuple[CapacityResult | None, list[float],
+                       list[CapacityProbe]]:
+    """Run the serial algorithm against cached verdicts.
+
+    Returns ``(result, needed, probes)``: the finished result (or
+    ``None`` if the replay blocked on a rate not yet evaluated), the
+    rates to speculate next (serial-order first), and the probe prefix
+    consumed so far.
+    """
+    probes: list[CapacityProbe] = []
+
+    low_probe = cache.get(low)
+    if low_probe is None:
+        return None, [low, high], probes
+    probes.append(low_probe)
+    if not low_probe.passed:
+        return CapacityResult(scenario=scenario_name, slo=slo_name,
+                              capacity=0.0, first_failing_rate=low,
+                              probes=tuple(probes)), [], probes
+
+    high_probe = cache.get(high)
+    if high_probe is None:
+        return None, [high], probes
+    probes.append(high_probe)
+    if high_probe.passed:
+        return CapacityResult(scenario=scenario_name, slo=slo_name,
+                              capacity=high, first_failing_rate=None,
+                              probes=tuple(probes)), [], probes
+
+    best, worst = low, high
+    while len(probes) < max_probes and (worst - best) > tolerance * best:
+        mid = (best + worst) / 2.0
+        probe = cache.get(mid)
+        if probe is None:
+            return None, [mid], probes
+        probes.append(probe)
+        if probe.passed:
+            best = mid
+        else:
+            worst = mid
+    return CapacityResult(scenario=scenario_name, slo=slo_name,
+                          capacity=best, first_failing_rate=worst,
+                          probes=tuple(probes)), [], probes
+
+
+def _find_capacity_speculative(
+        scenario: LoadScenario, slo: SLO, *, low: float, high: float,
+        tolerance: float, max_probes: int,
+        on_probe: _t.Callable[[CapacityProbe], None] | None,
+        parallel: int, pool: _t.Any | None) -> CapacityResult:
+    # Imported lazily: repro.load must stay importable without dragging
+    # the fleet layer (and multiprocessing) into every consumer.
+    from ..fleet.pool import FleetPool, FleetTask
+
+    cache: dict[float, CapacityProbe] = {}
+    reported = 0
+    own_pool = pool is None
+    if own_pool:
+        pool = FleetPool(parallel, name="capacity")
+    width = max(parallel, getattr(pool, "workers", parallel))
+    batch = 0
+    try:
+        while True:
+            result, needed, probes = _replay(
+                cache, scenario_name=scenario.name, slo_name=slo.name,
+                low=low, high=high, tolerance=tolerance,
+                max_probes=max_probes)
+            if on_probe is not None:
+                for probe in probes[reported:]:
+                    on_probe(probe)
+            reported = len(probes)
+            if result is not None:
+                return result
+            # Fill the batch beyond the serially-needed rates with the
+            # decision tree's frontier from the post-replay bracket.
+            rates = [rate for rate in needed if rate not in cache]
+            if len(probes) >= 2:
+                best = max(p.rate for p in probes if p.passed)
+                worst = min(p.rate for p in probes if not p.passed)
+                for rate in _speculative_rates(
+                        best, worst, len(probes), tolerance=tolerance,
+                        max_probes=max_probes, width=width):
+                    if rate not in cache and rate not in rates:
+                        rates.append(rate)
+            elif len(needed) == 2:
+                # Initial round: low and high are both unknown; also
+                # speculate the tree below (low passes, high fails).
+                for rate in _speculative_rates(
+                        low, high, 2, tolerance=tolerance,
+                        max_probes=max_probes, width=width):
+                    if rate not in cache and rate not in rates:
+                        rates.append(rate)
+            rates = rates[:width]
+            assert rates, "speculative search blocked with nothing to probe"
+            tasks = [FleetTask(key=f"probe-{batch:03d}-{index:02d}",
+                               runner="load.capacity_probe",
+                               payload={"scenario": scenario, "slo": slo,
+                                        "rate": rate})
+                     for index, rate in enumerate(rates)]
+            batch += 1
+            for outcome in pool.run(tasks).values():
+                if outcome.error is not None:
+                    raise outcome.error
+                probe = _t.cast(CapacityProbe, outcome.result)
+                cache[probe.rate] = probe
+    finally:
+        if own_pool:
+            pool.close()
 
 
 __all__ = ["CapacityProbe", "CapacityResult", "find_capacity"]

@@ -137,6 +137,20 @@ class LoadResult:
         """End-to-end latency quantile in µs over all delivered RSRs."""
         return self.latency.quantile(q)
 
+    def portable(self) -> "LoadResult":
+        """A copy safe to send across a process boundary.
+
+        The scenario's ``chaos`` builder is the one field that may
+        legitimately be a closure over live testbed state (the install
+        already happened; the result only needs the fault *log*), so it
+        is stripped here rather than letting one unpicklable callable
+        poison a whole fleet merge.  Everything else in a LoadResult is
+        plain data.
+        """
+        return dataclasses.replace(
+            self,
+            scenario=dataclasses.replace(self.scenario, chaos=None))
+
     def summary(self) -> str:
         p50 = self.quantile_us(0.5)
         p99 = self.quantile_us(0.99)

@@ -91,6 +91,11 @@ MANIFEST_SCHEMA = "repro.obs.stream.manifest"
 MANIFEST_SCHEMA_VERSION = 1
 SHARD_PATTERN = "shard-{:05d}.jsonl"
 
+#: A fleet run's roll-up over per-task spool directories.
+MERGED_MANIFEST_NAME = "manifest.merged.json"
+MERGED_MANIFEST_SCHEMA = "repro.obs.stream.manifest.merged"
+MERGED_MANIFEST_SCHEMA_VERSION = 1
+
 #: Span phases whose presence marks an RSR as failure evidence — such
 #: RSRs bypass every sampling policy.
 FORCED_PHASES = frozenset((PHASE_RETRY, PHASE_FAILOVER, PHASE_PROBE))
@@ -553,6 +558,60 @@ def read_manifest(directory: str) -> dict[str, object]:
         return _t.cast(dict, json.load(fh))
 
 
+def merge_spool_manifests(root: str,
+                          spools: _t.Mapping[str, str]
+                          ) -> dict[str, object]:
+    """Roll per-task spool manifests up into one merged document.
+
+    ``spools`` maps task key to that task's spool directory, given
+    relative to ``root`` (fleet plans use the key's slug).  The merged
+    document is keyed and ordered by task key and records only relative
+    paths, so two fleet runs of the same plan — at any parallelism, in
+    any output root — produce byte-identical merged manifests; each
+    task's shard checksums carry the content identity of its spool.
+    """
+    tasks: dict[str, object] = {}
+    totals: dict[str, int] = {}
+    shard_count = 0
+    for key in sorted(spools):
+        subdir = spools[key]
+        if os.path.isabs(subdir):
+            raise ValueError(
+                f"spool path for task {key!r} must be relative to the "
+                f"merge root, got {subdir!r}")
+        manifest = read_manifest(os.path.join(root, subdir))
+        task_totals = _t.cast("dict[str, int]", manifest["totals"])
+        for name, value in task_totals.items():
+            totals[name] = totals.get(name, 0) + int(value)
+        shards = _t.cast(list, manifest["shards"])
+        shard_count += len(shards)
+        tasks[key] = {
+            "directory": subdir.replace(os.sep, "/"),
+            "policy": manifest.get("policy"),
+            "seed": manifest.get("seed"),
+            "shards": shards,
+            "totals": task_totals,
+        }
+    return {
+        "schema": MERGED_MANIFEST_SCHEMA,
+        "schema_version": MERGED_MANIFEST_SCHEMA_VERSION,
+        "tasks": tasks,
+        "totals": dict(sorted(totals.items())),
+        "task_count": len(tasks),
+        "shard_count": shard_count,
+    }
+
+
+def write_merged_manifest(root: str, document: _t.Mapping[str, object]
+                          ) -> str:
+    """Write a merged manifest at its canonical name under ``root``."""
+    path = os.path.join(root, MERGED_MANIFEST_NAME)
+    with open(path, "w") as fh:
+        json.dump(document, fh, sort_keys=True, indent=1)
+        fh.write("\n")
+    return path
+
+
 def iter_records(directory: str,
                  manifest: _t.Mapping[str, object] | None = None
                  ) -> _t.Iterator[dict[str, object]]:
@@ -668,12 +727,17 @@ __all__ = [
     "MANIFEST_NAME",
     "MANIFEST_SCHEMA",
     "MANIFEST_SCHEMA_VERSION",
+    "MERGED_MANIFEST_NAME",
+    "MERGED_MANIFEST_SCHEMA",
+    "MERGED_MANIFEST_SCHEMA_VERSION",
     "SHARD_PATTERN",
     "SpanSpool",
     "StreamConfig",
     "StreamFold",
     "fold_stream",
     "iter_records",
+    "merge_spool_manifests",
     "parse_policy",
     "read_manifest",
+    "write_merged_manifest",
 ]

@@ -44,6 +44,12 @@ next to its shards — every shard file is cross-checked for existence,
 byte length, sha256, and record count.  A shard file itself validates
 line by line against the four record kinds.
 
+**Merged fleet manifests** (``repro.obs.stream.manifest.merged``,
+written by ``python -m repro.fleet --stream-dir``): every per-task
+section must satisfy the single-spool invariants, the roll-up totals
+must equal the sum of the task sections, and each task's spool is
+cross-checked on disk when the merged manifest sits in its merge root.
+
 Used by the CI smoke jobs and the test suite; exits non-zero with a
 reason on the first violation.
 """
@@ -404,6 +410,71 @@ def validate_manifest_document(document: _t.Mapping[str, object], *,
             "verified": directory is not None}
 
 
+def validate_merged_manifest_document(
+        document: _t.Mapping[str, object], *,
+        directory: str | None = None) -> dict[str, object]:
+    """Structural + invariant checks over a merged fleet manifest.
+
+    Each per-task section must itself satisfy the single-spool manifest
+    invariants (lossiness ledger, shard sums), the roll-up totals must
+    equal the sum of the task totals, and — when the merged manifest
+    sits in its merge root — every task's own ``manifest.json`` and
+    shard files are cross-checked on disk.
+    """
+    import os
+
+    from .stream import (
+        MANIFEST_SCHEMA_VERSION,
+        MERGED_MANIFEST_SCHEMA_VERSION,
+    )
+
+    _check_version(document, MERGED_MANIFEST_SCHEMA_VERSION,
+                   "merged manifest")
+    tasks = document.get("tasks")
+    totals = document.get("totals")
+    if not isinstance(tasks, dict) or not isinstance(totals, dict):
+        _fail("merged manifest: tasks/totals sections missing")
+    if document.get("task_count") != len(tasks):
+        _fail(f"merged manifest: task_count {document.get('task_count')!r} "
+              f"does not match {len(tasks)} tasks")
+    summed: dict[str, int] = {}
+    shard_count = 0
+    for key in tasks:
+        task = tasks[key]
+        if not isinstance(task, dict):
+            _fail(f"merged manifest: task {key!r} is not an object")
+        for field in ("directory", "shards", "totals"):
+            if field not in task:
+                _fail(f"merged manifest: task {key!r} missing {field!r}")
+        subdir = _t.cast(str, task["directory"])
+        if os.path.isabs(subdir):
+            _fail(f"merged manifest: task {key!r} records an absolute "
+                  f"spool path {subdir!r}")
+        # Re-use the single-spool invariants by reshaping the section
+        # into a manifest document (same shards/totals layout).
+        spool_dir = (os.path.join(directory, subdir)
+                     if directory is not None else None)
+        validate_manifest_document(
+            {"schema_version": MANIFEST_SCHEMA_VERSION,
+             "shards": task["shards"], "totals": task["totals"]},
+            directory=spool_dir)
+        shard_count += len(_t.cast(list, task["shards"]))
+        for name, value in _t.cast(dict, task["totals"]).items():
+            summed[name] = summed.get(name, 0) + int(value)
+    if document.get("shard_count") != shard_count:
+        _fail(f"merged manifest: shard_count "
+              f"{document.get('shard_count')!r} does not match "
+              f"{shard_count} listed shards")
+    for name, value in summed.items():
+        if totals.get(name) != value:
+            _fail(f"merged manifest: totals.{name} is "
+                  f"{totals.get(name)!r}, task sections sum to {value}")
+    return {"tasks": len(tasks), "shards": shard_count,
+            "records": summed.get("records", 0),
+            "spans_emitted": summed.get("spans_emitted", 0),
+            "verified": directory is not None}
+
+
 def _validate_shard_record(record: object, where: str) -> str:
     if not isinstance(record, dict):
         _fail(f"{where}: not an object")
@@ -454,7 +525,7 @@ def validate_file(path: str) -> tuple[str, dict[str, object]]:
     import os
 
     from ..bench.record import SCHEMA, validate_record_document
-    from .stream import MANIFEST_SCHEMA
+    from .stream import MANIFEST_SCHEMA, MERGED_MANIFEST_SCHEMA
 
     with open(path) as handle:
         try:
@@ -472,6 +543,9 @@ def validate_file(path: str) -> tuple[str, dict[str, object]]:
             return "record", summary
         if schema == MANIFEST_SCHEMA:
             return "manifest", validate_manifest_document(
+                document, directory=os.path.dirname(path) or ".")
+        if schema == MERGED_MANIFEST_SCHEMA:
+            return "merged-manifest", validate_merged_manifest_document(
                 document, directory=os.path.dirname(path) or ".")
         if isinstance(schema, str) and schema in ANALYSIS_VALIDATORS:
             return (schema.rsplit(".", 1)[-1],
@@ -517,6 +591,13 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
               f"({summary['spans_emitted']} spans emitted, "
               f"{summary['spans_sampled_out']} sampled out, "
               f"{summary['spans_dropped']} dropped; {verified})")
+    elif kind == "merged-manifest":
+        verified = ("spools verified on disk" if summary["verified"]
+                    else "spools not cross-checked")
+        print(f"OK: merged fleet manifest with {summary['tasks']} task "
+              f"spools / {summary['shards']} shards "
+              f"({summary['records']} records, "
+              f"{summary['spans_emitted']} spans emitted; {verified})")
     elif kind == "shard":
         print(f"OK: stream shard with {summary['records']} records "
               f"({summary['kind_s']} spans, {summary['kind_d']} "

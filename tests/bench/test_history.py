@@ -1,6 +1,9 @@
 """Bench history ledger and variance-aware wall gating."""
 
 import json
+import os
+import subprocess
+import sys
 
 from repro.bench.history import (
     MIN_RUNS,
@@ -50,6 +53,44 @@ class TestLedger:
 
     def test_missing_file_loads_empty(self, tmp_path):
         assert load_history(str(tmp_path / "absent.jsonl")) == []
+
+
+#: Appended by each writer process in the concurrency test.
+_WRITER_SCRIPT = """\
+import sys
+from repro.bench.history import append_history
+
+path, tag, count = sys.argv[1], sys.argv[2], int(sys.argv[3])
+for index in range(count):
+    append_history(path, {"artefacts": {}, "tag": tag, "index": index})
+"""
+
+
+class TestConcurrentAppend:
+    def test_parallel_writers_never_interleave_lines(self, tmp_path):
+        """Fleet tasks appending to one ledger must produce whole lines.
+
+        Four real processes race 40 appends each; every resulting line
+        must parse on its own and every (tag, index) pair must survive —
+        torn or interleaved writes would break both.
+        """
+        path = str(tmp_path / "history.jsonl")
+        writers, per_writer = 4, 40
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        procs = [subprocess.Popen(
+            [sys.executable, "-c", _WRITER_SCRIPT,
+             path, f"w{index}", str(per_writer)], env=env)
+            for index in range(writers)]
+        for proc in procs:
+            assert proc.wait(timeout=60) == 0
+
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == writers * per_writer
+        seen = {(doc["tag"], doc["index"])
+                for doc in map(json.loads, lines)}
+        assert len(seen) == writers * per_writer
 
 
 class TestBands:

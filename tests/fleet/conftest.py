@@ -1,0 +1,17 @@
+"""Shared fixtures for the fleet tier.
+
+Spawning a worker costs roughly half a second of interpreter start-up
+on a small CI box, so the healthy-path tests share one session-scoped
+two-worker pool.  Crash tests (which deliberately kill workers) build
+their own throwaway pools and must never touch this one.
+"""
+
+import pytest
+
+from repro.fleet import FleetPool
+
+
+@pytest.fixture(scope="session")
+def fleet_pool():
+    with FleetPool(2, name="test-fleet") as pool:
+        yield pool

@@ -1,0 +1,29 @@
+"""Module-level runners for fleet tests.
+
+Spawned workers resolve these by dotted path
+(``"tests.fleet.runners:boom"``), so they must live at module level in
+an importable module — a lambda or a function defined inside a test
+body would not survive the spawn boundary.
+"""
+
+import os
+
+
+def fine(value):
+    """A healthy runner: doubles its input."""
+    return value * 2
+
+
+def boom(message):
+    """Raise mid-"simulation" — the structured-error path."""
+    raise RuntimeError(message)
+
+
+def hard_exit(code=3):
+    """Kill the worker outright — the reaping path (no traceback)."""
+    os._exit(code)
+
+
+def unpicklable_result():
+    """Return something pickle rejects — must surface as a task error."""
+    return lambda: None

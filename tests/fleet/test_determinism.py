@@ -1,0 +1,98 @@
+"""The determinism contract: parallel execution changes nothing.
+
+These tests run real work through a real spawned pool (the shared
+session fixture), so they are the slowest in the fleet tier — each one
+asserts byte equality between a serial run and a parallel run of the
+same plan.
+"""
+
+from repro.bench.record import BenchRecord
+from repro.fleet import (
+    BenchFanout,
+    ScenarioGrid,
+    canonical_json,
+    merge_bench_outcomes,
+    merge_load_results,
+    run_plan,
+)
+from repro.load import FixedSize, FleetSpec, LoadScenario, OpenLoop, SLO
+from repro.load.capacity import find_capacity
+
+
+def _scenario():
+    return LoadScenario(
+        name="tiny",
+        fleets=(FleetSpec("rpc", clients=2, arrival=OpenLoop(rate=40.0),
+                          sizes=FixedSize(512), route="remote",
+                          service_ops=5, service_time=100e-6),),
+        duration=0.05, seed=7)
+
+
+class TestGridDeterminism:
+    def test_serial_and_pool_merge_byte_identical(self, fleet_pool):
+        grid = ScenarioGrid(name="g", base=_scenario(),
+                            factors=(0.5, 0.75, 1.0, 1.25))
+        serial = run_plan(grid, jobs=1)
+        pooled = run_plan(grid, jobs=2, pool=fleet_pool)
+        assert serial.ok and pooled.ok
+        assert (canonical_json(merge_load_results(serial.outcomes,
+                                                  plan=grid.name))
+                == canonical_json(merge_load_results(pooled.outcomes,
+                                                     plan=grid.name)))
+
+
+class TestBenchFanoutDeterminism:
+    def test_merged_records_byte_identical(self, fleet_pool):
+        plan = BenchFanout(artefacts=("figure4", "table1"), quick=True)
+        serial = run_plan(plan, jobs=1)
+        pooled = run_plan(plan, jobs=2, pool=fleet_pool)
+
+        record_a = BenchRecord("fleet", quick=True)
+        merged_a = merge_bench_outcomes(record_a, serial.outcomes)
+        record_b = BenchRecord("fleet", quick=True)
+        merged_b = merge_bench_outcomes(record_b, pooled.outcomes)
+
+        # The record documents (what --record writes) match bytewise.
+        assert record_a.dumps() == record_b.dumps()
+        # So does the replayed stdout, artefact by artefact.
+        assert ([(r.name, r.stdout) for r in merged_a]
+                == [(r.name, r.stdout) for r in merged_b])
+
+
+class TestSpeculativeCapacity:
+    """find_capacity(parallel=k) is an *optimisation*, not a variant:
+
+    same capacity, same first failing rate, same probe sequence, same
+    verdicts — on every Table-1 tuning.
+    """
+
+    def test_parallel_matches_serial_on_table1_configs(self, fleet_pool):
+        from repro.bench.load import CAPACITY_SLO, capacity_variants
+
+        for name, variant in capacity_variants(quick=True).items():
+            kwargs = dict(low=200.0, high=6000.0, tolerance=0.05,
+                          max_probes=6)
+            serial = find_capacity(variant, CAPACITY_SLO, **kwargs)
+            parallel = find_capacity(variant, CAPACITY_SLO,
+                                     parallel=4, pool=fleet_pool,
+                                     **kwargs)
+            assert parallel.capacity == serial.capacity, name
+            assert (parallel.first_failing_rate
+                    == serial.first_failing_rate), name
+            assert ([p.rate for p in parallel.probes]
+                    == [p.rate for p in serial.probes]), name
+            assert ([p.passed for p in parallel.probes]
+                    == [p.passed for p in serial.probes]), name
+
+    def test_on_probe_sees_serial_sequence(self, fleet_pool):
+        scenario = _scenario()
+        slo = SLO(name="tight", p99_latency_us=50_000.0,
+                  min_goodput_fraction=0.9)
+        kwargs = dict(low=50.0, high=2000.0, tolerance=0.2, max_probes=4)
+        seen_serial, seen_parallel = [], []
+        find_capacity(scenario, slo, on_probe=seen_serial.append,
+                      **kwargs)
+        find_capacity(scenario, slo, on_probe=seen_parallel.append,
+                      parallel=2, pool=fleet_pool, **kwargs)
+        assert ([p.rate for p in seen_parallel]
+                == [p.rate for p in seen_serial])

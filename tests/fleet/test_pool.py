@@ -1,0 +1,135 @@
+"""Fleet pool: spec validation, structured errors, crash robustness."""
+
+import pytest
+
+from repro.fleet import (
+    FleetPool,
+    FleetSpecError,
+    FleetTask,
+    FleetTaskError,
+    resolve_runner,
+    run_serial,
+)
+
+FINE = "tests.fleet.runners:fine"
+BOOM = "tests.fleet.runners:boom"
+HARD_EXIT = "tests.fleet.runners:hard_exit"
+UNPICKLABLE = "tests.fleet.runners:unpicklable_result"
+
+
+class TestSpecValidation:
+    def test_empty_key_rejected(self):
+        with pytest.raises(FleetSpecError):
+            FleetTask(key="", runner=FINE)
+
+    def test_empty_runner_rejected(self):
+        with pytest.raises(FleetSpecError):
+            FleetTask(key="a", runner="")
+
+    def test_duplicate_keys_rejected(self):
+        tasks = [FleetTask(key="a", runner=FINE, payload={"value": 1}),
+                 FleetTask(key="a", runner=FINE, payload={"value": 2})]
+        with pytest.raises(FleetSpecError, match="duplicate"):
+            run_serial(tasks)
+
+    def test_unpicklable_payload_rejected_eagerly(self):
+        task = FleetTask(key="a", runner=FINE,
+                         payload={"value": lambda: None})
+        with pytest.raises(FleetSpecError, match="not picklable"):
+            task.encode()
+        # run_serial enforces the same declarative contract as spawn.
+        with pytest.raises(FleetSpecError, match="not picklable"):
+            run_serial([task])
+
+    def test_pool_needs_at_least_one_worker(self):
+        with pytest.raises(FleetSpecError):
+            FleetPool(0)
+
+
+class TestRunnerResolution:
+    def test_registered_names_resolve(self):
+        assert callable(resolve_runner("load.run_scenario"))
+        assert callable(resolve_runner("load.capacity_probe"))
+        assert callable(resolve_runner("bench.artefact"))
+
+    def test_dotted_path_resolves(self):
+        from tests.fleet import runners
+
+        assert resolve_runner(FINE) is runners.fine
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(LookupError, match="not registered"):
+            resolve_runner("no.such.runner")
+
+    def test_non_callable_attr_raises(self):
+        with pytest.raises(LookupError, match="not name a callable"):
+            resolve_runner("tests.fleet.runners:os")
+
+
+class TestSerialExecution:
+    def test_results_key_ordered(self):
+        outcomes = run_serial([
+            FleetTask(key="z", runner=FINE, payload={"value": 3}),
+            FleetTask(key="a", runner=FINE, payload={"value": 1}),
+        ])
+        assert list(outcomes) == ["a", "z"]
+        assert outcomes["a"].result == 2
+        assert outcomes["z"].result == 6
+
+    def test_exception_becomes_structured_error_and_drains(self):
+        outcomes = run_serial([
+            FleetTask(key="bad", runner=BOOM,
+                      payload={"message": "mid-simulation failure"}),
+            FleetTask(key="good", runner=FINE, payload={"value": 5}),
+        ])
+        error = outcomes["bad"].error
+        assert isinstance(error, FleetTaskError)
+        assert error.key == "bad"
+        assert error.exc_type == "RuntimeError"
+        assert "mid-simulation failure" in error.message
+        assert "mid-simulation failure" in error.remote_traceback
+        # The failure did not stop the rest of the batch.
+        assert outcomes["good"].ok and outcomes["good"].result == 10
+
+
+class TestCrashRobustness:
+    """The satellite contract: structured errors, never a hang."""
+
+    def test_raise_propagates_traceback_and_pool_drains(self):
+        with FleetPool(2, name="crash-raise") as pool:
+            outcomes = pool.run([
+                FleetTask(key="a-ok", runner=FINE, payload={"value": 21}),
+                FleetTask(key="b-raise", runner=BOOM,
+                          payload={"message": "mid-simulation failure"}),
+                FleetTask(key="c-ok", runner=FINE, payload={"value": 4}),
+                FleetTask(key="d-unpicklable", runner=UNPICKLABLE),
+            ])
+        assert list(outcomes) == sorted(outcomes)
+        error = outcomes["b-raise"].error
+        assert isinstance(error, FleetTaskError)
+        assert error.key == "b-raise"
+        assert error.exc_type == "RuntimeError"
+        assert "mid-simulation failure" in error.message
+        # The remote traceback carries the *worker's* frames.
+        assert "runners.py" in error.remote_traceback
+        assert "mid-simulation failure" in error.remote_traceback
+        # An unpicklable return is a per-task error, not a poisoned
+        # queue: the worker pre-pickles and reports the failure.
+        assert not outcomes["d-unpicklable"].ok
+        # Healthy tasks still completed — the pool drained.
+        assert outcomes["a-ok"].result == 42
+        assert outcomes["c-ok"].result == 8
+
+    def test_hard_crash_is_reaped_and_pool_drains(self):
+        with FleetPool(2, name="crash-exit") as pool:
+            outcomes = pool.run([
+                FleetTask(key="x-exit", runner=HARD_EXIT),
+                FleetTask(key="y-ok", runner=FINE, payload={"value": 5}),
+            ])
+        error = outcomes["x-exit"].error
+        assert error is not None
+        assert error.exc_type == "WorkerCrash"
+        assert error.key == "x-exit"
+        assert "exit code" in error.message
+        # The surviving worker still finished its task: no deadlock.
+        assert outcomes["y-ok"].result == 10

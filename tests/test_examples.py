@@ -25,6 +25,8 @@ EXPECTED_OUTPUT = {
     "load_capacity.py": "reproduced as capacity",
     "telemetry_analysis.py": "in-window violations the aggregate missed",
     "streaming_telemetry.py": "byte-identical to the in-memory extraction",
+    "fleet_sweep.py": "reproduced the serial probe sequence and capacity "
+                      "exactly",
 }
 
 
