@@ -215,6 +215,26 @@ def _run_analysis(quick: bool, record: BenchRecord | None) -> None:
     print("shape: OK")
 
 
+def _run_place(quick: bool, record: BenchRecord | None) -> None:
+    from .place import check_place_shape, place_bench
+    from .record import record_place
+
+    bench = place_bench(quick=quick)
+    print(bench.render())
+    print(bench.search.summary())
+    print(f"hill-climb from direct: {bench.hill.label} "
+          f"(static {bench.hill.static.static_capacity:.1f}/s); "
+          f"static/simulated agreement {bench.agreement:.2f} "
+          f"at jobs={bench.jobs}")
+    if record is not None:
+        record_place(record, bench)
+    # The placement workload is mode-independent (one short profile
+    # plus a few bisection probes), so the §4.3-rediscovery shape
+    # criteria hold in quick CI too.
+    check_place_shape(bench)
+    print("shape: OK")
+
+
 def _run_fleet(quick: bool, record: BenchRecord | None) -> None:
     from .fleet import check_fleet_shape, fleet_scaling
     from .record import record_fleet
@@ -236,6 +256,7 @@ ARTEFACTS: dict[str, _t.Callable[[bool, BenchRecord | None], None]] = {
     "chaos": _run_chaos,
     "load": _run_load,
     "analysis": _run_analysis,
+    "place": _run_place,
 }
 
 #: Opt-in artefacts: runnable by name, excluded from the default "run
@@ -303,7 +324,8 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                         help="where the analysis artefact writes its "
                              "timeline/graph/critpath documents "
                              "(timeline.json, graph.json, graph.dot, "
-                             "critpath.json)")
+                             "critpath.json) and the place artefact "
+                             "writes its winning placement.json")
     parser.add_argument("--stream-dir", metavar="DIR", default=None,
                         help="spool the analysis artefact's spans to "
                              "sharded JSONL under DIR/chaos and "
@@ -369,6 +391,10 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         parser.error("--append-history records wall-tier runs; "
                      "it requires --wall")
 
+    if args.export_dir is not None:
+        from . import place as _place
+
+        _place.EXPORT_DIR = args.export_dir
     if args.export_dir is not None or args.stream_dir is not None:
         from . import analysis as _analysis
 

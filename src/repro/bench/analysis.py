@@ -54,6 +54,7 @@ from ..obs.graph import (
 )
 from ..obs.stream import StreamConfig, fold_stream
 from ..obs.timeline import write_timeline
+from ..place.plan import forwarding_placement
 from ..simnet.faults import FaultPlan
 from ..util.records import ResultTable
 from ..util.report import critical_path_report
@@ -117,14 +118,16 @@ def chaos_scenario() -> LoadScenario:
 
 def forwarding_scenario() -> LoadScenario:
     """Remote traffic through the forwarding processor: the multi-hop
-    topology the graph and critical-path extractors are pointed at."""
+    topology the graph and critical-path extractors are pointed at.
+    The explicit placement is the hand-picked §4.3 configuration the
+    deprecated ``forwarding=True`` flag used to spell."""
     return LoadScenario(
         name="analysis-forward",
         fleets=(FleetSpec("rpc-forward", clients=4,
                           arrival=OpenLoop(rate=50.0),
                           sizes=FixedSize(1024), route="remote"),),
         duration=0.2, timeline_windows=10,
-        remote_servers=3, forwarding=True,
+        remote_servers=3, placement=forwarding_placement(),
         skip_poll=(("tcp", 4),))
 
 

@@ -40,6 +40,7 @@ from ..load import (
     find_capacity,
     run_scenario,
 )
+from ..place.plan import forwarding_placement
 from ..simnet.faults import FaultPlan
 from ..util.records import ResultTable
 
@@ -140,8 +141,8 @@ def capacity_variants(quick: bool = False) -> dict[str, LoadScenario]:
         "tuned-skip-poll": dataclasses.replace(
             base, name="tuned-skip-poll",
             skip_poll=(("tcp", TUNED_SKIP),)),
-        "forwarding": dataclasses.replace(base, name="forwarding",
-                                          forwarding=True),
+        "forwarding": dataclasses.replace(
+            base, name="forwarding", placement=forwarding_placement()),
     }
 
 

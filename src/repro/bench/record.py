@@ -746,6 +746,59 @@ def record_analysis(record: BenchRecord, bench) -> None:
                        share * 1e6, unit="us")
 
 
+def record_place(record: BenchRecord, bench) -> None:
+    """Demand shares, partitioner bake-off, and the placement search."""
+    record.add("place", "graph.nodes", len(bench.graph.nodes),
+               unit="nodes", kind=KIND_COUNT)
+    record.add("place", "graph.edges", len(bench.graph.edges),
+               unit="edges", kind=KIND_COUNT)
+    record.add("place", "demand.messages", bench.demand.messages,
+               unit="msgs", kind=KIND_COUNT)
+    record.add("place", "demand.mean_bytes", bench.demand.mean_bytes,
+               unit="B", kind=KIND_COUNT, direction=DIR_NONE)
+    for index, share in bench.demand.shares:
+        record.add("place", f"demand.share.serve{index}", share,
+                   unit="frac", direction=DIR_NONE)
+
+    for name, cost in bench.partitions.items():
+        base = f"partition.{_slug(name)}"
+        record.add("place", f"{base}.cut_ms", cost.wire_cut_s * 1e3,
+                   unit="ms")
+        record.add("place", f"{base}.imbalance", cost.imbalance,
+                   unit="x")
+        record.add("place", f"{base}.score_ms", cost.score * 1e3,
+                   unit="ms")
+
+    for candidate in bench.search.candidates:
+        record.add("place",
+                   f"candidate.{_slug(candidate.label)}.static_rps",
+                   candidate.static.static_capacity, unit="req/s",
+                   direction=DIR_HIGHER)
+    for validated in bench.search.validated:
+        base = f"capacity.{_slug(validated.label)}"
+        record.add("place", f"{base}.rate", validated.capacity,
+                   unit="req/s", direction=DIR_HIGHER)
+        record.add("place", f"{base}.probes",
+                   len(validated.result.probes), unit="probes",
+                   kind=KIND_COUNT)
+
+    best = bench.search.best
+    record.add("place", "best.capacity", best.capacity, unit="req/s",
+               direction=DIR_HIGHER)
+    record.add("place", "best.is_forwarding",
+               float(best.placement.forwarder is not None), unit="bool",
+               kind=KIND_COUNT, direction=DIR_HIGHER)
+    record.add("place", "best.forwarder",
+               -1.0 if best.placement.forwarder is None
+               else float(best.placement.forwarder), unit="rank",
+               kind=KIND_COUNT, direction=DIR_NONE)
+    record.add("place", "agreement", bench.agreement, unit="frac",
+               direction=DIR_HIGHER)
+    record.add("place", "hill.matches_best",
+               float(bench.hill.label == best.label), unit="bool",
+               kind=KIND_COUNT, direction=DIR_HIGHER)
+
+
 def record_observability(record: BenchRecord, artefact: str,
                          runs: _t.Sequence[tuple[_t.Any, _t.Any]]) -> None:
     """Span/RSR totals for one artefact's traced runtimes."""
@@ -796,6 +849,7 @@ __all__ = [
     "record_fleet",
     "record_load",
     "record_observability",
+    "record_place",
     "record_table1",
     "record_windowed",
     "validate_record_document",

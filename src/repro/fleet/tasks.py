@@ -91,6 +91,22 @@ def run_probe_task(scenario, slo, rate: float):
     return _probe(scenario, slo, rate)
 
 
+@register_runner("place.capacity")
+def run_place_capacity_task(scenario, slo, low: float, high: float,
+                            tolerance: float = 0.05, max_probes: int = 12):
+    """Validate one placement candidate by simulated capacity search.
+
+    The payload's ``scenario`` arrives already compiled from a
+    :class:`repro.place.Placement` (plain frozen data, so it pickles);
+    the worker runs the same deterministic bisection the serial path
+    uses and returns the full :class:`~repro.load.capacity.CapacityResult`.
+    """
+    from ..load.capacity import find_capacity
+
+    return find_capacity(scenario, slo, low=low, high=high,
+                         tolerance=tolerance, max_probes=max_probes)
+
+
 @dataclasses.dataclass(frozen=True)
 class BenchArtefactResult:
     """One bench artefact's output, portable across the pool.
@@ -142,6 +158,7 @@ __all__ = [
     "register_runner",
     "resolve_runner",
     "run_bench_artefact_task",
+    "run_place_capacity_task",
     "run_probe_task",
     "run_scenario_task",
 ]

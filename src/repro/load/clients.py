@@ -248,15 +248,20 @@ def run_scenario(scenario: LoadScenario, *,
                       for index, host in enumerate(remote_hosts)]
     servers = servers_local + servers_remote
 
-    if scenario.forwarding:
+    placement = scenario.placement
+    if placement is not None and placement.forwarder is not None:
         from ..core.forwarding import ForwardingService
 
         # The paper's configuration: the forwarding processor is one of
         # the partition's own ranks (§4.3), not a free extra node — it
-        # keeps serving requests, keeps paying the TCP poll tax, and
-        # additionally relays every other member's external traffic.
-        forwarder = servers_remote[0]
-        service = ForwardingService(nexus, method="tcp", fast_method="mpl")
+        # keeps serving requests, keeps paying the slow method's poll
+        # tax, and additionally relays every other member's external
+        # traffic.  Which rank, and over which methods, is the
+        # placement's decision (legacy forwarding=True maps to rank 0,
+        # tcp -> mpl).
+        forwarder = servers_remote[placement.forwarder]
+        service = ForwardingService(nexus, method=placement.method,
+                                    fast_method=placement.fast_method)
         service.install(forwarder, servers_remote)
 
     # Fleet accounting + per-server work queues.  Handlers only enqueue;

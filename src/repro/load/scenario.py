@@ -17,20 +17,24 @@ Routes
 ``"remote"``
     Clients target servers in the other partition; selection picks the
     inter-partition method (TCP by default, UDP when enabled and
-    preferred).  With ``forwarding=True`` this traffic instead lands on
-    the forwarding processor — one of the remote-serving ranks — and
-    hops to the other servers over MPL, the paper's §4.3 alternative to
-    tuned polling.
+    preferred).  With a ``placement`` naming a forwarder this traffic
+    instead lands on the forwarding processor — one of the
+    remote-serving ranks — and hops to the other servers over the
+    placement's fast method, the paper's §4.3 alternative to tuned
+    polling.  The legacy ``forwarding=True`` flag maps onto the
+    equivalent placement with a ``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import typing as _t
+import warnings
 
 from .arrivals import ArrivalProcess, LoadSpecError, OpenLoop, SizeDist
 
 if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..place.plan import Placement
     from ..simnet.faults import FaultPlan
     from ..testbeds import SP2Testbed
 
@@ -99,11 +103,17 @@ class LoadScenario:
     #: Per-method ``skip_poll`` applied to every context (the paper's
     #: tuning knob; ignored for methods a context does not poll).
     skip_poll: tuple[tuple[str, int], ...] = ()
-    #: Route remote traffic through a forwarding processor (§4.3 /
-    #: Table 1 row 2) instead of direct inter-partition TCP.  As in the
-    #: paper, the forwarder is one of the remote-serving ranks itself —
-    #: it keeps serving while relaying the other members' traffic.
+    #: Deprecated: route remote traffic through the hand-picked §4.3
+    #: forwarding processor (remote rank 0, TCP in, MPL relay).  Bare
+    #: ``forwarding=True`` now maps onto the equivalent ``placement``
+    #: with a :class:`DeprecationWarning`; once a placement is present
+    #: this field is kept as a read-only mirror of "does the placement
+    #: install a forwarder".
     forwarding: bool = False
+    #: Where components sit: a :class:`repro.place.Placement` naming the
+    #: forwarding rank (or ``None`` for direct routing) and the methods
+    #: on each leg.  The engine consults only this field.
+    placement: "Placement | None" = None
     #: Optional fault-plan builder, installed before clients start.
     chaos: ChaosBuilder | None = None
     #: Drain: after the window, wait until delivery counts have been
@@ -136,6 +146,31 @@ class LoadScenario:
         if len(set(names)) != len(names):
             raise LoadSpecError(
                 f"scenario {self.name!r} has duplicate fleet names")
+        if self.forwarding and self.placement is None:
+            from ..place.plan import forwarding_placement
+
+            warnings.warn(
+                "LoadScenario(forwarding=True) is deprecated; pass "
+                "placement=repro.place.forwarding_placement() instead",
+                DeprecationWarning, stacklevel=3)
+            object.__setattr__(self, "placement", forwarding_placement())
+        if self.placement is not None:
+            forwarder = self.placement.forwarder
+            if forwarder is not None and forwarder >= self.remote_servers:
+                raise LoadSpecError(
+                    f"scenario {self.name!r} places the forwarder on "
+                    f"remote rank {forwarder} but has only "
+                    f"{self.remote_servers} remote servers")
+            methods = ((self.placement.method, self.placement.fast_method)
+                       if forwarder is not None else (self.placement.method,))
+            for method in methods:
+                if method not in self.transports:
+                    raise LoadSpecError(
+                        f"scenario {self.name!r} placement uses method "
+                        f"{method!r} outside its transports "
+                        f"{self.transports}")
+            # Keep the legacy flag an honest mirror of the placement.
+            object.__setattr__(self, "forwarding", forwarder is not None)
 
     # -- derived quantities --------------------------------------------------
 

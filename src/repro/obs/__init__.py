@@ -47,6 +47,7 @@ from .graph import (
     CommGraph,
     GraphBuilder,
     dot_graph,
+    PartitionCosts,
     evaluate_partition,
     extract_graph,
 )
@@ -176,6 +177,7 @@ __all__ = [
     "collecting",
     "default_observe",
     "dot_graph",
+    "PartitionCosts",
     "evaluate_partition",
     "export",
     "extract_critical_paths",

@@ -274,19 +274,51 @@ def extract_graph(source: "Observability | _t.Sequence[Span]", *,
 
 # -- partition cost -----------------------------------------------------------
 
+@dataclasses.dataclass
+class PartitionCosts:
+    """:func:`evaluate_partition`'s result, indexable like the plain
+    dict it used to be (``costs["cross"]["bytes"]`` keeps working) with
+    the planner's extra fields as first-class attributes."""
+
+    partitions: list[str]
+    intra: dict[str, float]
+    cross: dict[str, float]
+    cut_fraction_bytes: float | None
+    cross_messages_per_method: dict[str, int]
+    #: Cut bytes split by transport method (the planner's per-link view).
+    cross_bytes_per_method: dict[str, int]
+    #: Max partition traffic weight over the mean — 1.0 is perfectly
+    #: balanced; ``None`` when the assignment is empty or weightless.
+    imbalance: float | None
+
+    def __getitem__(self, key: str) -> object:
+        try:
+            return getattr(self, key)
+        except AttributeError:
+            raise KeyError(key) from None
+
+    def get(self, key: str, default: object = None) -> object:
+        return getattr(self, key, default)
+
+    def as_dict(self) -> dict[str, object]:
+        return dataclasses.asdict(self)
+
+
 def evaluate_partition(graph: CommGraph,
                        assignment: _t.Mapping[int, str]
-                       ) -> dict[str, object]:
+                       ) -> PartitionCosts:
     """Split the graph's traffic by a rank → partition assignment.
 
-    The cost summary the placement planner will minimise: cross-partition
-    messages/bytes/wire time versus intra-partition, plus the cut
-    fraction by bytes.  Ranks missing from ``assignment`` land in
-    partition ``"?"``.
+    The cost summary the placement planner minimises: cross-partition
+    messages/bytes/wire time versus intra-partition, the cut fraction
+    and per-method cut shares, plus the normalized traffic imbalance of
+    the parts.  Ranks missing from ``assignment`` land in partition
+    ``"?"``.
     """
     intra = {"messages": 0, "bytes": 0, "wire_s": 0.0}
     cross = {"messages": 0, "bytes": 0, "wire_s": 0.0}
     per_method_cross: dict[str, int] = {}
+    per_method_cross_bytes: dict[str, int] = {}
     for edge in graph.edge_list():
         side = (intra if assignment.get(edge.src, "?")
                 == assignment.get(edge.dst, "?") else cross)
@@ -296,16 +328,29 @@ def evaluate_partition(graph: CommGraph,
         if side is cross:
             per_method_cross[edge.method] = (
                 per_method_cross.get(edge.method, 0) + edge.messages)
+            per_method_cross_bytes[edge.method] = (
+                per_method_cross_bytes.get(edge.method, 0) + edge.bytes)
     total_bytes = intra["bytes"] + cross["bytes"]
-    return {
-        "partitions": sorted(set(assignment.values())),
-        "intra": intra,
-        "cross": cross,
-        "cut_fraction_bytes": (cross["bytes"] / total_bytes
-                               if total_bytes else None),
-        "cross_messages_per_method": dict(sorted(
-            per_method_cross.items())),
-    }
+    part_weight: dict[str, float] = {}
+    for rank, node in graph.nodes.items():
+        label = assignment.get(rank, "?")
+        part_weight[label] = (part_weight.get(label, 0.0)
+                              + node.bytes_in + node.bytes_out)
+    imbalance: float | None = None
+    if part_weight and sum(part_weight.values()) > 0:
+        mean = sum(part_weight.values()) / len(part_weight)
+        imbalance = max(part_weight.values()) / mean
+    return PartitionCosts(
+        partitions=sorted(set(assignment.values())),
+        intra=intra,
+        cross=cross,
+        cut_fraction_bytes=(cross["bytes"] / total_bytes
+                            if total_bytes else None),
+        cross_messages_per_method=dict(sorted(per_method_cross.items())),
+        cross_bytes_per_method=dict(sorted(
+            per_method_cross_bytes.items())),
+        imbalance=imbalance,
+    )
 
 
 # -- export -------------------------------------------------------------------
@@ -386,6 +431,7 @@ __all__ = [
     "GraphBuilder",
     "GraphEdge",
     "GraphNode",
+    "PartitionCosts",
     "dot_graph",
     "dumps_graph",
     "evaluate_partition",

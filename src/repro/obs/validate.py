@@ -35,6 +35,11 @@ counts sum to their sample counts, graph edges reference exported
 nodes and per-node totals match the edge list, and every critical
 path's step shares sum to its end-to-end latency.
 
+**Placement plans** (``schema == "repro.place.plan"``, written by
+``python -m repro.bench place --export-dir``): schema version, a
+duplicate-free ``[rank, label]`` assignment list, a null-or-index
+forwarder, and non-empty method names.
+
 **Stream spools** — the sharded JSONL segments and ``manifest.json``
 written by the streaming telemetry spool (:mod:`repro.obs.stream`):
 the manifest's lossiness ledger must balance (``spans_opened ==
@@ -330,6 +335,42 @@ def validate_critpath_document(document: _t.Mapping[str, object]
             "steps": sum(len(_t.cast(dict, p)["steps"]) for p in paths)}
 
 
+def validate_placement_document(document: _t.Mapping[str, object]
+                                ) -> dict[str, object]:
+    """Structural checks over a placement-plan export
+    (``repro.place.plan``, written by ``python -m repro.bench place
+    --export-dir``)."""
+    from ..place.plan import PLAN_SCHEMA_VERSION
+
+    _check_version(document, PLAN_SCHEMA_VERSION, "placement")
+    assignment = document.get("assignment")
+    if not isinstance(assignment, list):
+        _fail("placement: assignment must be a list")
+    ranks = set()
+    for index, pair in enumerate(assignment):
+        if not (isinstance(pair, list) and len(pair) == 2
+                and isinstance(pair[0], int) and isinstance(pair[1], str)):
+            _fail(f"placement: assignment[{index}] must be "
+                  "[rank, label]")
+        if pair[0] in ranks:
+            _fail(f"placement: assignment repeats rank {pair[0]}")
+        ranks.add(pair[0])
+    forwarder = document.get("forwarder")
+    if forwarder is not None and not (
+            isinstance(forwarder, int) and forwarder >= 0):
+        _fail(f"placement: forwarder must be null or a non-negative "
+              f"integer, got {forwarder!r}")
+    for field in ("method", "fast_method"):
+        value = document.get(field)
+        if not isinstance(value, str) or not value:
+            _fail(f"placement: {field} must be a non-empty string")
+    if not isinstance(document.get("meta"), dict):
+        _fail("placement: meta section missing")
+    return {"ranks": len(ranks), "forwarder": forwarder,
+            "method": document["method"],
+            "fast_method": document["fast_method"]}
+
+
 #: Streamed-telemetry record kinds to their required fields (see
 #: :mod:`repro.obs.stream` for the record format).
 SHARD_RECORD_FIELDS: dict[str, tuple[str, ...]] = {
@@ -517,6 +558,7 @@ ANALYSIS_VALIDATORS: dict[str, _t.Callable[
     "repro.obs.timeline": validate_timeline_document,
     "repro.obs.graph": validate_graph_document,
     "repro.obs.critpath": validate_critpath_document,
+    "repro.place.plan": validate_placement_document,
 }
 
 
@@ -583,6 +625,12 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     elif kind == "critpath":
         print(f"OK: {summary['paths']} critical paths "
               f"({summary['steps']} steps)")
+    elif kind == "plan":
+        where = ("direct" if summary["forwarder"] is None
+                 else f"forward@{summary['forwarder']}")
+        print(f"OK: placement plan {where} "
+              f"({summary['method']}->{summary['fast_method']}), "
+              f"{summary['ranks']} assigned ranks")
     elif kind == "manifest":
         verified = ("shards verified on disk" if summary["verified"]
                     else "shards not cross-checked")

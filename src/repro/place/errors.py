@@ -1,0 +1,19 @@
+"""Typed errors for the placement planner."""
+
+from __future__ import annotations
+
+
+class PlacementError(ValueError):
+    """A placement request that cannot be satisfied.
+
+    Raised for malformed specs (bad forwarder index, duplicate ranks in
+    an assignment) and for degenerate partition requests (``k`` larger
+    than the number of ranks, an empty graph).  A typed error is part of
+    the planner's contract: callers sweeping many candidate placements
+    must be able to separate "this candidate is invalid" from a genuine
+    bug, and tests assert the partitioners never crash with anything
+    else.
+    """
+
+
+__all__ = ["PlacementError"]

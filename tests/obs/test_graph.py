@@ -171,6 +171,41 @@ class TestPartition:
 
         costs = evaluate_partition(CommGraph(), {})
         assert costs["cut_fraction_bytes"] is None
+        assert costs["imbalance"] is None
+
+    def test_cross_bytes_broken_down_per_method(self, pingpong):
+        obs, nexus = pingpong
+        graph = extract_graph(obs, nexus=nexus)
+        costs = evaluate_partition(graph, {0: "A", 1: "A", 2: "B"})
+        assert set(costs["cross_bytes_per_method"]) == {"tcp"}
+        assert costs["cross_bytes_per_method"]["tcp"] \
+            == costs["cross"]["bytes"]
+
+    def test_imbalance_is_max_over_mean_traffic(self, pingpong):
+        obs, nexus = pingpong
+        graph = extract_graph(obs, nexus=nexus)
+        costs = evaluate_partition(graph, {0: "A", 1: "A", 2: "B"})
+        weights = {"A": 0.0, "B": 0.0}
+        for node in graph.node_list():
+            label = "A" if node.rank in (0, 1) else "B"
+            weights[label] += node.bytes_in + node.bytes_out
+        mean = sum(weights.values()) / 2
+        assert costs["imbalance"] == pytest.approx(
+            max(weights.values()) / mean)
+        assert costs["imbalance"] >= 1.0
+
+    def test_costs_expose_dataclass_and_mapping_views(self, pingpong):
+        obs, nexus = pingpong
+        graph = extract_graph(obs, nexus=nexus)
+        costs = evaluate_partition(graph, {0: "A", 1: "A", 2: "B"})
+        assert costs.partitions == costs["partitions"]
+        assert costs.get("no-such-key") is None
+        with pytest.raises(KeyError):
+            costs["no-such-key"]
+        assert set(costs.as_dict()) >= {"partitions", "intra", "cross",
+                                        "cut_fraction_bytes",
+                                        "cross_bytes_per_method",
+                                        "imbalance"}
 
 
 class TestExport:

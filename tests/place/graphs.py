@@ -1,0 +1,67 @@
+"""Synthetic :class:`CommGraph` builders for the placement tests."""
+
+from repro.obs.graph import CommGraph, GraphEdge, GraphNode
+
+
+def make_graph(edges, components=None):
+    """Build a graph from ``(src, dst, method, messages, nbytes)`` rows.
+
+    Node totals are derived from the edge list, so the graph satisfies
+    the same in/out invariants an extracted one does.
+    """
+    graph = CommGraph()
+    components = components or {}
+
+    def node(rank):
+        if rank not in graph.nodes:
+            graph.nodes[rank] = GraphNode(
+                rank=rank, component=components.get(rank, f"ctx{rank}"),
+                host=f"h{rank}")
+        return graph.nodes[rank]
+
+    for src, dst, method, messages, nbytes in edges:
+        key = (src, dst, method)
+        edge = graph.edges.get(key)
+        if edge is None:
+            edge = graph.edges[key] = GraphEdge(src=src, dst=dst,
+                                                method=method)
+        edge.messages += messages
+        edge.bytes += nbytes
+        node(src).messages_out += messages
+        node(src).bytes_out += nbytes
+        node(dst).messages_in += messages
+        node(dst).bytes_in += nbytes
+    return graph
+
+
+def serving_graph(shares=(6, 3, 1), nbytes=1024, clients=2):
+    """A direct-routed serving profile: ``clients`` client ranks fanning
+    requests over tcp to ``len(shares)`` remote-serving ranks, with the
+    given per-rank message counts."""
+    n_servers = len(shares)
+    components = {i: f"cli/{i}" for i in range(clients)}
+    components.update({clients + i: f"srv/remote/{i}"
+                       for i in range(n_servers)})
+    edges = []
+    for server, count in enumerate(shares):
+        for client in range(clients):
+            take = count // clients + (count % clients
+                                       if client == 0 else 0)
+            if take:
+                edges.append((client, clients + server, "tcp",
+                              take, take * nbytes))
+    return make_graph(edges, components)
+
+
+def barbell_graph(side=3, heavy=1_000_000, light=10):
+    """Two tightly-coupled cliques joined by one light bridge — the
+    canonical graph where the min cut is the bridge."""
+    edges = []
+    for base in (0, side):
+        ranks = range(base, base + side)
+        for a in ranks:
+            for b in ranks:
+                if a < b:
+                    edges.append((a, b, "mpl", 10, heavy))
+    edges.append((0, side, "tcp", 1, light))
+    return make_graph(edges)

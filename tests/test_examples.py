@@ -27,6 +27,7 @@ EXPECTED_OUTPUT = {
     "streaming_telemetry.py": "byte-identical to the in-memory extraction",
     "fleet_sweep.py": "reproduced the serial probe sequence and capacity "
                       "exactly",
+    "placement_search.py": "rediscovered the paper's forwarding placement",
 }
 
 
